@@ -1,0 +1,83 @@
+// Command lubmgen emits a LUBM∃ ABox (one fact per line, the format
+// cmd/obda's -abox flag reads) and the benchmark TBox.
+//
+// Usage:
+//
+//	lubmgen -universities 8 -seed 1 -o data.facts
+//	lubmgen -tbox -o ontology.dl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dllite"
+	"repro/internal/lubm"
+	"repro/internal/ntriples"
+)
+
+type writerSink struct {
+	w     *bufio.Writer
+	facts int
+}
+
+func (s *writerSink) AddConceptFact(c, ind string) {
+	fmt.Fprintf(s.w, "%s(%s)\n", c, ind)
+	s.facts++
+}
+
+func (s *writerSink) AddRoleFact(r, a, b string) {
+	fmt.Fprintf(s.w, "%s(%s, %s)\n", r, a, b)
+	s.facts++
+}
+
+func main() {
+	var (
+		universities = flag.Int("universities", 1, "number of universities to generate")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		out          = flag.String("o", "", "output file (default stdout)")
+		tboxOnly     = flag.Bool("tbox", false, "emit the LUBM∃ TBox instead of data")
+		format       = flag.String("format", "facts", "output format: facts or nt (N-Triples)")
+		base         = flag.String("base", ntriples.DefaultBase, "base IRI for -format nt")
+	)
+	flag.Parse()
+
+	var f *os.File = os.Stdout
+	if *out != "" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lubmgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+
+	if *tboxOnly {
+		tb := lubm.TBox()
+		for _, ax := range tb.Axioms {
+			fmt.Fprintln(w, dllite.FormatAxiom(ax))
+		}
+		fmt.Fprintf(os.Stderr, "lubmgen: %d axioms (%d concepts, %d roles)\n",
+			tb.NumConstraints(), len(tb.ConceptNames()), len(tb.RoleNames()))
+		return
+	}
+	if *format == "nt" {
+		ab := lubm.GenerateABox(lubm.Config{Universities: *universities, Seed: *seed})
+		if err := ntriples.Write(w, ab, ntriples.Options{Base: *base}); err != nil {
+			fmt.Fprintf(os.Stderr, "lubmgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lubmgen: %d triples for %d universities (seed %d)\n",
+			ab.Size(), *universities, *seed)
+		return
+	}
+	sink := &writerSink{w: w}
+	lubm.Generate(lubm.Config{Universities: *universities, Seed: *seed}, sink)
+	fmt.Fprintf(os.Stderr, "lubmgen: %d facts for %d universities (seed %d)\n",
+		sink.facts, *universities, *seed)
+}

@@ -1,0 +1,77 @@
+// Command obdaserver serves a DL-LiteR knowledge base over HTTP
+// (see internal/server for the API).
+//
+// Usage:
+//
+//	obdaserver -tbox ont.dl -abox data.facts -addr :8080 \
+//	           -profile postgres -layout simple
+//
+// Try it:
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"query": "q(x) <- PhDStudent(x)", "strategy": "gdl-ext"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		tboxPath    = flag.String("tbox", "", "path to the TBox file (required)")
+		aboxPath    = flag.String("abox", "", "path to the ABox file (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		profileName = flag.String("profile", "postgres", "engine profile: postgres or db2")
+		layoutName  = flag.String("layout", "simple", "data layout: simple or rdf")
+	)
+	flag.Parse()
+	if *tboxPath == "" || *aboxPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tf, err := os.Open(*tboxPath)
+	fatal(err)
+	tb, err := dllite.ParseTBox(tf)
+	tf.Close()
+	fatal(err)
+	af, err := os.Open(*aboxPath)
+	fatal(err)
+	ab, err := dllite.ParseABox(af)
+	af.Close()
+	fatal(err)
+
+	layout := engine.LayoutSimple
+	if strings.EqualFold(*layoutName, "rdf") {
+		layout = engine.LayoutRDF
+	}
+	prof := engine.ProfilePostgres()
+	if strings.EqualFold(*profileName, "db2") {
+		prof = engine.ProfileDB2()
+	}
+	db := engine.NewDB(layout)
+	db.LoadABox(ab)
+	log.Printf("obdaserver: %d facts, %d axioms, %s, %s profile, listening on %s",
+		db.NumFacts(), tb.NumConstraints(), layout, prof.Name, *addr)
+	srv := server.New(core.New(tb, db, prof))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obdaserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Medical: the introduction's motivating domain — a Snomed-CT-flavoured
+// clinical ontology. Shows (i) ontological constraints turning sparse
+// clinical records into complete answers, and (ii) disjointness
+// constraints catching contradictory records via reformulation-based
+// consistency checking (core.Answerer.CheckConsistency).
+//
+// Run with: go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+const clinicalTBox = `
+# diagnosis hierarchy (Snomed-style "is a" axes)
+BacterialPneumonia <= Pneumonia
+ViralPneumonia <= Pneumonia
+Pneumonia <= LungDisease
+LungDisease <= Disease
+Influenza <= ViralInfection
+ViralInfection <= Disease
+Diabetes <= ChronicDisease
+ChronicDisease <= Disease
+
+# roles: domains and ranges
+exists diagnosedWith <= Patient
+exists diagnosedWith- <= Disease
+exists treatedWith <= Patient
+exists treatedWith- <= Treatment
+exists prescribes <= Clinician
+exists prescribes- <= Treatment
+exists attendedBy <= Patient
+exists attendedBy- <= Clinician
+
+# every patient with a bacterial pneumonia diagnosis gets an antibiotic
+Antibiotic <= Treatment
+Antiviral <= Treatment
+BacterialPneumonia <= exists indicatedTreatment
+role: indicatedTreatment <= indicatedTreatment
+
+# clinical disjointness: an infection cannot be both bacterial and viral
+BacterialPneumonia <= not ViralPneumonia
+Treatment <= not Disease
+Patient <= not Clinician
+`
+
+const clinicalABox = `
+# Sparse records: many types are implicit.
+diagnosedWith(alice, dx1)
+BacterialPneumonia(dx1)
+treatedWith(alice, rx1)
+Antibiotic(rx1)
+attendedBy(alice, drsmith)
+diagnosedWith(bob, dx2)
+Influenza(dx2)
+prescribes(drsmith, rx1)
+diagnosedWith(carol, dx3)
+ViralPneumonia(dx3)
+`
+
+func main() {
+	tbox, err := dllite.ParseTBoxString(clinicalTBox)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox(clinicalABox))
+	answerer := core.New(tbox, db, engine.ProfileDB2())
+
+	// The records never say anyone is a Patient, a Clinician, or what a
+	// Disease is — the ontology fills it all in.
+	for _, text := range []string{
+		"q(x) <- Patient(x)",
+		"q(x) <- Clinician(x)",
+		"q(p, d) <- diagnosedWith(p, d), LungDisease(d)",
+		"q(p) <- diagnosedWith(p, d), Disease(d), treatedWith(p, t), Treatment(t)",
+	} {
+		q := query.MustParseCQ(text)
+		res, err := answerer.Answer(q, core.StrategyGDLExt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-72s -> %v\n", text, res.Tuples)
+	}
+
+	// Consistency: the record base is fine...
+	violations, err := answerer.CheckConsistency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nviolations: %d (record base is consistent)\n", len(violations))
+
+	// ...until a contradictory diagnosis arrives.
+	db2 := engine.NewDB(engine.LayoutSimple)
+	db2.LoadABox(dllite.MustParseABox(clinicalABox + "ViralPneumonia(dx1)\n"))
+	answerer2 := core.New(tbox, db2, engine.ProfileDB2())
+	violations, err = answerer2.CheckConsistency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range violations {
+		fmt.Printf("CONTRADICTION: %s violated by %v\n", v.Axiom, v.Witness)
+	}
+}

@@ -1,0 +1,297 @@
+// Package core is the paper's contribution as a library: cost-driven
+// cover-based query answering for DL-LiteR over an RDBMS-style engine
+// (Figure 1). An Answerer owns the TBox, the loaded database, the
+// engine profile, and the reformulation/search machinery; Answer runs
+// one of the strategies the experiments compare:
+//
+//   - StrategyUCQ: the standard CQ-to-UCQ reformulation [13] evaluated
+//     directly (the single-fragment cover).
+//   - StrategyUSCQ: the CQ-to-USCQ reformulation [33].
+//   - StrategyCroot: the JUCQ induced by the root cover (Definition 6).
+//   - StrategyGDLRDBMS: GDL guided by the engine's own cost estimation.
+//   - StrategyGDLExt: GDL guided by the external cost model ε.
+//   - StrategyEDL: exhaustive search (small queries only).
+//
+// Every strategy computes the same certain answers (Theorems 1 and 3);
+// they differ only in evaluation cost — and, on DB2-like profiles, in
+// whether the SQL statement is accepted at all.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/reformulate"
+	"repro/internal/search"
+	"repro/internal/sqlexec"
+	"repro/internal/sqlgen"
+)
+
+// Strategy selects how the FOL reformulation handed to the engine is
+// chosen.
+type Strategy string
+
+// The strategies compared in the paper's experiments (Section 6).
+const (
+	StrategyUCQ      Strategy = "ucq"
+	StrategyUCQMin   Strategy = "ucq-min" // §2.3's minimal UCQ
+	StrategyUSCQ     Strategy = "uscq"
+	StrategyCroot    Strategy = "croot"
+	StrategyGDLRDBMS Strategy = "gdl-rdbms"
+	StrategyGDLExt   Strategy = "gdl-ext"
+	StrategyEDL      Strategy = "edl"
+)
+
+// Strategies lists all supported strategies.
+func Strategies() []Strategy {
+	return []Strategy{StrategyUCQ, StrategyUCQMin, StrategyUSCQ, StrategyCroot, StrategyGDLRDBMS, StrategyGDLExt, StrategyEDL}
+}
+
+// Answerer answers conjunctive queries over a KB through the engine.
+type Answerer struct {
+	TBox    *dllite.TBox
+	DB      *engine.DB
+	Profile *engine.Profile
+
+	Ref        *reformulate.Reformulator
+	Model      *cost.Model
+	SearchOpts search.Options
+
+	// ViaSQL routes evaluation through the SQL text itself (parse with
+	// sqlexec, execute the parsed statement) instead of the engine's
+	// native plans — exactly what shipping the reformulation to a real
+	// RDBMS does. Only supported on the simple layout.
+	ViaSQL bool
+}
+
+// New wires an Answerer for the given TBox, database, and profile.
+func New(tb *dllite.TBox, db *engine.DB, prof *engine.Profile) *Answerer {
+	return &Answerer{
+		TBox:    tb,
+		DB:      db,
+		Profile: prof,
+		Ref:     reformulate.New(tb),
+		Model:   cost.NewModel(db),
+	}
+}
+
+// Result reports one strategy's outcome on one query.
+type Result struct {
+	Strategy Strategy
+	Query    query.CQ
+
+	Tuples [][]string
+
+	Cover        cover.Cover
+	JUCQ         query.JUCQ
+	NumDisjuncts int // total CQs across fragments
+	NumFragments int
+
+	SQL     string
+	SQLSize int
+	EstCost float64
+
+	SearchTime time.Duration // cover search (zero for fixed strategies)
+	EvalTime   time.Duration
+
+	// Search carries the raw GDL/EDL result when applicable.
+	Search *search.Result
+}
+
+// Answer runs the strategy end to end: choose a cover, reformulate,
+// translate to SQL, enforce the profile's statement limit, and evaluate.
+func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
+	res := &Result{Strategy: s, Query: q}
+	var c cover.Cover
+	switch s {
+	case StrategyUCQ, StrategyUCQMin, StrategyUSCQ:
+		c = cover.SingleFragment(q)
+	case StrategyCroot:
+		c = cover.RootCover(q, a.TBox)
+	case StrategyGDLRDBMS:
+		sr := search.GDL(q, a.TBox, a.Ref, &search.RDBMSEstimator{DB: a.DB, Profile: a.Profile}, a.SearchOpts)
+		if sr.Err != nil {
+			return nil, sr.Err
+		}
+		c = sr.Cover
+		res.Search = &sr
+		res.SearchTime = sr.Elapsed
+	case StrategyGDLExt:
+		sr := search.GDL(q, a.TBox, a.Ref, &search.ExtEstimator{Model: a.Model}, a.SearchOpts)
+		if sr.Err != nil {
+			return nil, sr.Err
+		}
+		c = sr.Cover
+		res.Search = &sr
+		res.SearchTime = sr.Elapsed
+	case StrategyEDL:
+		opts := a.SearchOpts
+		if opts.MaxCovers == 0 {
+			opts.MaxCovers = 20000 // the paper's A6 cutoff
+		}
+		sr := search.EDL(q, a.TBox, a.Ref, &search.ExtEstimator{Model: a.Model}, opts)
+		if sr.Err != nil {
+			return nil, sr.Err
+		}
+		c = sr.Cover
+		res.Search = &sr
+		res.SearchTime = sr.Elapsed
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", s)
+	}
+	res.Cover = c
+	res.NumFragments = len(c.Frags)
+
+	if s == StrategyUSCQ {
+		return a.answerUSCQ(q, c, res)
+	}
+
+	j, err := c.ReformulateJUCQ(a.Ref)
+	if err != nil {
+		return nil, err
+	}
+	if s == StrategyUCQMin {
+		// §2.3: evaluate the containment-minimized UCQ instead.
+		m, err := a.Ref.ReformulateMinimal(q)
+		if err != nil {
+			return nil, err
+		}
+		j.Subs = []query.UCQ{m}
+	}
+	res.JUCQ = j
+	for _, sub := range j.Subs {
+		res.NumDisjuncts += len(sub.Disjuncts)
+	}
+	res.SQL = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
+	res.SQLSize = len(res.SQL)
+	if err := a.Profile.CheckStatementSize(res.SQLSize); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	if a.ViaSQL {
+		rel, err := sqlexec.Exec(res.SQL, a.DB)
+		if err != nil {
+			return res, err
+		}
+		res.EvalTime = time.Since(start)
+		res.Tuples = rel.Decode(a.DB.Dict)
+		res.EstCost = engine.PlanJUCQ(j, a.DB, a.Profile).EstCost
+		return res, nil
+	}
+	var ans engine.Answer
+	if len(j.Subs) == 1 {
+		// Single fragment: evaluate the UCQ directly (no WITH needed).
+		ans = engine.EvaluateUCQ(j.Subs[0], a.DB, a.Profile)
+	} else {
+		ans = engine.EvaluateJUCQ(j, a.DB, a.Profile)
+	}
+	res.EvalTime = time.Since(start)
+	res.Tuples = ans.Tuples
+	res.EstCost = ans.EstCost
+	return res, nil
+}
+
+// answerUSCQ evaluates the factorized USCQ reformulation.
+func (a *Answerer) answerUSCQ(q query.CQ, c cover.Cover, res *Result) (*Result, error) {
+	js, err := c.ReformulateJUSCQ(a.Ref)
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range js.Subs {
+		res.NumDisjuncts += len(sub.Disjuncts)
+	}
+	res.SQL = sqlgen.JUSCQ(js, sqlgen.Options{Layout: a.DB.Layout})
+	res.SQLSize = len(res.SQL)
+	if err := a.Profile.CheckStatementSize(res.SQLSize); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	var ans engine.Answer
+	if len(js.Subs) == 1 {
+		ans = engine.EvaluateUSCQ(js.Subs[0], a.DB, a.Profile)
+	} else {
+		ans = engine.EvaluateJUSCQ(js, a.DB, a.Profile)
+	}
+	res.EvalTime = time.Since(start)
+	res.Tuples = ans.Tuples
+	res.EstCost = ans.EstCost
+	return res, nil
+}
+
+// Violation reports a disjointness constraint contradicted by the data.
+type Violation struct {
+	Axiom   dllite.Axiom
+	Witness []string
+}
+
+// CheckConsistency verifies T-consistency of the loaded database by
+// reformulation: for every negative constraint B1 ⊑ ¬B2, the boolean
+// query asking for an individual in both B1 and B2 is answered through
+// the engine; a non-empty answer is a violation. This scales to
+// databases far beyond what dllite's saturation-based checker handles.
+func (a *Answerer) CheckConsistency() ([]Violation, error) {
+	var out []Violation
+	for _, ax := range a.TBox.NegativeAxioms() {
+		q, arity := unsatQuery(ax)
+		u, err := a.Ref.Reformulate(q)
+		if err != nil {
+			return nil, err
+		}
+		ans := engine.EvaluateUCQ(u, a.DB, a.Profile)
+		if len(ans.Tuples) > 0 {
+			w := ans.Tuples[0][:arity]
+			out = append(out, Violation{Axiom: ax, Witness: w})
+		}
+	}
+	return out, nil
+}
+
+// unsatQuery builds the violation witness query of a negative axiom.
+func unsatQuery(ax dllite.Axiom) (query.CQ, int) {
+	x, y := query.Var("x"), query.Var("y")
+	conceptAtom := func(c dllite.Concept, primary, spare query.Term) query.Atom {
+		if !c.Exists {
+			return query.ConceptAtom(c.Name, primary)
+		}
+		if c.Role.Inv {
+			return query.RoleAtom(c.Role.Name, spare, primary)
+		}
+		return query.RoleAtom(c.Role.Name, primary, spare)
+	}
+	switch ax.Kind {
+	case dllite.ConceptDisjointness:
+		a1 := conceptAtom(ax.LC, x, query.Var("w1"))
+		a2 := conceptAtom(ax.RC, x, query.Var("w2"))
+		return query.CQ{Name: "unsat", Head: []query.Term{x}, Atoms: []query.Atom{a1, a2}}, 1
+	default: // RoleDisjointness
+		s1, o1 := x, y
+		if ax.LR.Inv {
+			s1, o1 = y, x
+		}
+		s2, o2 := x, y
+		if ax.RR.Inv {
+			s2, o2 = y, x
+		}
+		return query.CQ{Name: "unsat", Head: []query.Term{x, y}, Atoms: []query.Atom{
+			query.RoleAtom(ax.LR.Name, s1, o1),
+			query.RoleAtom(ax.RR.Name, s2, o2),
+		}}, 2
+	}
+}
+
+// CompareStrategies answers q under every given strategy; per-strategy
+// failures (e.g. statement too long) come back in errs so callers can
+// distinguish "slow" from "failed", exactly like Figures 2–3.
+func (a *Answerer) CompareStrategies(q query.CQ, strategies []Strategy) (results []*Result, errs []error) {
+	results = make([]*Result, len(strategies))
+	errs = make([]error, len(strategies))
+	for i, s := range strategies {
+		results[i], errs[i] = a.Answer(q, s)
+	}
+	return results, errs
+}

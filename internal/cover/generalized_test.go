@@ -1,0 +1,131 @@
+package cover
+
+import (
+	"testing"
+
+	"repro/internal/dllite"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/reformulate"
+)
+
+// TestDefinition7HeadFromGOnly: head variables of a generalized
+// fragment come from G only — variables shared exclusively through
+// reducer atoms (F\G) must not join.
+func TestDefinition7HeadFromGOnly(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- A(x), R(x, y), S(y, z), B(z)")
+	// Fragments: {A(x), R(x,y)}‖{A(x)} and {S(y,z), B(z)}‖{S(y,z), B(z)}.
+	// x is the only head var; y is shared between R (a reducer in f1)
+	// and S (in g2). Per Definition 7 the f1 fragment's head comes from
+	// g1 = {A(x)}: just (x); y must NOT be exported by f1.
+	c := Cover{Q: q, Frags: []Fragment{
+		{F: 0b0011, G: 0b0001},
+		{F: 0b1100, G: 0b1100},
+	}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f1 := c.FragmentQuery(0)
+	if len(f1.Head) != 1 || f1.Head[0].Name != "x" {
+		t.Fatalf("f1 head = %v, want (x): reducer vars must not join", f1.Head)
+	}
+	f2 := c.FragmentQuery(1)
+	// g2's variables shared with g1: none (g1 only has x). So f2
+	// exports nothing beyond... y and z are not in g1, x not in f2.
+	// q's head x is not in f2 either → f2 is boolean-ish.
+	if len(f2.Head) != 0 {
+		t.Fatalf("f2 head = %v, want ()", f2.Head)
+	}
+}
+
+// TestGeneralizedVsSimpleSemantics: a reducer atom must only filter;
+// the generalized cover answers exactly like the simple cover it
+// extends (Theorem 3's equivalence argument), here on an empty TBox so
+// plain evaluation is the oracle.
+func TestGeneralizedVsSimpleSemantics(t *testing.T) {
+	tb := dllite.MustParseTBox("Unused <= Thing")
+	r := reformulate.New(tb)
+	q := query.MustParseCQ("q(x) <- A(x), R(x, y), B(y)")
+	simple := MustSimple(q, [][]int{{0}, {1, 2}})
+	gen := Cover{Q: q, Frags: []Fragment{
+		{F: 0b011, G: 0b001}, // A(x) with reducer R(x,y)
+		{F: 0b110, G: 0b110}, // R(x,y) ∧ B(y)
+	}}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ab := dllite.MustParseABox(`
+A(a1)
+A(a2)
+R(a1, b1)
+R(x9, b2)
+B(b1)
+B(b2)
+`)
+	js, err := simple.ReformulateJUCQ(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jg, err := gen.ReformulateJUCQ(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := naive.EvalJUCQ(js, ab)
+	ag := naive.EvalJUCQ(jg, ab)
+	if !naive.SameAnswers(as, ag) {
+		t.Fatalf("generalized %v vs simple %v", ag.Sorted(), as.Sorted())
+	}
+	// And both match plain evaluation (empty TBox).
+	plain := naive.EvalCQ(q, ab)
+	if !naive.SameAnswers(as, plain) {
+		t.Fatalf("cover answers %v vs plain %v", as.Sorted(), plain.Sorted())
+	}
+}
+
+// TestConnectedSupersetsEnumeration: extensions must be connected and
+// include the base.
+func TestConnectedSupersetsEnumeration(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- A(x), R(x, y), B(y), C(z), S(z, w)")
+	// Base: {A(x)} (atom 0). Connected supersets may grow through
+	// R(x,y) and B(y) but never reach the disconnected C(z)/S(z,w)
+	// component.
+	got := connectedSupersets(q, 0b00001)
+	for _, m := range got {
+		if m&0b00001 == 0 {
+			t.Errorf("superset %b lost the base", m)
+		}
+		if m&0b11000 != 0 {
+			t.Errorf("superset %b crossed into the disconnected component", m)
+		}
+		if !maskConnected(q, m) {
+			t.Errorf("superset %b is not connected", m)
+		}
+	}
+	// {A}, {A,R}, {A,R,B} — exactly 3.
+	if len(got) != 3 {
+		t.Errorf("got %d supersets, want 3: %b", len(got), got)
+	}
+}
+
+// TestRootCoverSingletonQuery and boolean query edge cases.
+func TestRootCoverEdgeCases(t *testing.T) {
+	tb := dllite.MustParseTBox("A <= B")
+	q1 := query.MustParseCQ("q(x) <- A(x)")
+	root := RootCover(q1, tb)
+	if len(root.Frags) != 1 || root.Frags[0].F != 1 {
+		t.Errorf("singleton root cover = %v", root)
+	}
+	// Boolean query (empty head).
+	qb := query.CQ{Name: "b", Atoms: []query.Atom{
+		query.ConceptAtom("A", query.Var("x")),
+		query.ConceptAtom("C", query.Var("y")),
+	}}
+	rootB := RootCover(qb, tb)
+	if len(rootB.Frags) != 2 {
+		t.Errorf("boolean root cover = %v", rootB)
+	}
+	fq := rootB.FragmentQuery(0)
+	if len(fq.Head) != 0 {
+		t.Errorf("boolean fragment head = %v", fq.Head)
+	}
+}

@@ -1,0 +1,192 @@
+package cover
+
+import (
+	"math/bits"
+
+	"repro/internal/dllite"
+	"repro/internal/query"
+)
+
+// EnumerateSafeCovers enumerates the safe-cover lattice Lq
+// (Section 5.1): every cover whose fragments are unions of Croot
+// fragments (Theorem 2). Enumeration is by set partitions of the root
+// fragments, bounded by the Bell number of their count. fn is invoked
+// for each cover; returning false stops early. limit caps the number of
+// covers produced (0 = unlimited). The number of covers enumerated is
+// returned.
+func EnumerateSafeCovers(q query.CQ, t *dllite.TBox, limit int, fn func(Cover) bool) int {
+	root := RootCover(q, t)
+	base := make([]uint64, len(root.Frags))
+	for i, f := range root.Frags {
+		base[i] = f.F
+	}
+	count := 0
+	// Enumerate set partitions of base via restricted growth strings.
+	n := len(base)
+	rgs := make([]int, n)
+	var rec func(i, max int) bool
+	rec = func(i, max int) bool {
+		if limit > 0 && count >= limit {
+			return false
+		}
+		if i == n {
+			groups := make(map[int]uint64)
+			var order []int
+			for j, g := range rgs {
+				if _, ok := groups[g]; !ok {
+					order = append(order, g)
+				}
+				groups[g] |= base[j]
+			}
+			c := Cover{Q: q}
+			for _, g := range order {
+				c.Frags = append(c.Frags, Simple(groups[g]))
+			}
+			count++
+			return fn(c)
+		}
+		for g := 0; g <= max; g++ {
+			rgs[i] = g
+			nmax := max
+			if g == max {
+				nmax = max + 1
+			}
+			if !rec(i+1, nmax) {
+				return false
+			}
+		}
+		return true
+	}
+	if n > 0 {
+		rec(0, 0)
+	}
+	return count
+}
+
+// CountSafeCovers returns |Lq| up to the given limit (0 = unlimited).
+func CountSafeCovers(q query.CQ, t *dllite.TBox, limit int) int {
+	return EnumerateSafeCovers(q, t, limit, func(Cover) bool { return true })
+}
+
+// EnumerateGeneralizedCovers enumerates the generalized space Gq
+// (Section 5.2): for every safe cover {g1..gm}, every way of enlarging
+// each fragment gi to a connected fi ⊇ gi by adding atoms from other
+// fragments. Simple covers (fi = gi) are included, so Lq ⊆ Gq as sets
+// of covers. fn returning false stops; limit caps production (0 =
+// unlimited). Returns the number of covers enumerated.
+func EnumerateGeneralizedCovers(q query.CQ, t *dllite.TBox, limit int, fn func(Cover) bool) int {
+	count := 0
+	stopped := false
+	EnumerateSafeCovers(q, t, 0, func(c Cover) bool {
+		// For each fragment, compute the candidate extension sets:
+		// connected supersets of G within the query atoms.
+		options := make([][]uint64, len(c.Frags))
+		for i, f := range c.Frags {
+			options[i] = connectedSupersets(q, f.G)
+		}
+		// Cartesian product over fragments.
+		choice := make([]uint64, len(c.Frags))
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if limit > 0 && count >= limit {
+				return false
+			}
+			if i == len(c.Frags) {
+				g := Cover{Q: q}
+				for k, f := range c.Frags {
+					g.Frags = append(g.Frags, Fragment{F: choice[k], G: f.G})
+				}
+				// Cover condition (ii): no F included in another F.
+				if err := g.Validate(); err != nil {
+					return true
+				}
+				count++
+				return fn(g)
+			}
+			for _, ext := range options[i] {
+				choice[i] = ext
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if !rec(0) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	_ = stopped
+	return count
+}
+
+// CountGeneralizedCovers returns |Gq| up to limit (0 = unlimited).
+func CountGeneralizedCovers(q query.CQ, t *dllite.TBox, limit int) int {
+	return EnumerateGeneralizedCovers(q, t, limit, func(Cover) bool { return true })
+}
+
+// connectedSupersets returns all masks m with g ⊆ m ⊆ allAtoms such
+// that m is connected, ordered with g first. Enumeration grows g by
+// repeatedly adding atoms that share a variable with the current mask,
+// which generates exactly the connected supersets.
+func connectedSupersets(q query.CQ, g uint64) []uint64 {
+	all := uint64(1)<<uint(len(q.Atoms)) - 1
+	seen := map[uint64]bool{g: true}
+	out := []uint64{g}
+	for i := 0; i < len(out); i++ {
+		cur := out[i]
+		rest := all &^ cur
+		for rest != 0 {
+			bit := rest & (-rest)
+			rest &^= bit
+			a := bits.TrailingZeros64(bit)
+			if !sharesVarWithMask(q, a, cur) {
+				continue
+			}
+			next := cur | bit
+			if !seen[next] {
+				seen[next] = true
+				out = append(out, next)
+			}
+		}
+	}
+	return out
+}
+
+func sharesVarWithMask(q query.CQ, atom int, mask uint64) bool {
+	for i := 0; i < len(q.Atoms); i++ {
+		if mask&(1<<uint(i)) != 0 && q.Atoms[i].SharesVar(q.Atoms[atom]) {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionFragments returns the cover obtained by merging fragments i and
+// j (both F- and G-parts), the GDL "union" move (Algorithm 1, line 3).
+func (c Cover) UnionFragments(i, j int) Cover {
+	out := Cover{Q: c.Q}
+	merged := Fragment{F: c.Frags[i].F | c.Frags[j].F, G: c.Frags[i].G | c.Frags[j].G}
+	for k, f := range c.Frags {
+		if k == i {
+			out.Frags = append(out.Frags, merged)
+		} else if k != j {
+			out.Frags = append(out.Frags, f)
+		}
+	}
+	return out
+}
+
+// EnlargeFragment returns the cover obtained by adding atom a to
+// fragment i's F-part (the GDL "enlarge" move, Algorithm 1, line 6), or
+// false if the atom is already present.
+func (c Cover) EnlargeFragment(i, a int) (Cover, bool) {
+	bit := uint64(1) << uint(a)
+	if c.Frags[i].F&bit != 0 {
+		return Cover{}, false
+	}
+	out := c.Clone()
+	out.Frags[i].F |= bit
+	return out, true
+}

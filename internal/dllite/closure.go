@@ -1,0 +1,223 @@
+package dllite
+
+import "sort"
+
+// This file implements the closure of negative inclusions cln(T)
+// (Calvanese et al., JAR 2007, §5; the paper's Example 2 derives
+// ∃supervisedBy ⊑ ¬∃supervisedBy⁻ from (T6)+(T7) this way): the set of
+// disjointness constraints entailed by the TBox. The classical result
+// is that a DL-LiteR KB is inconsistent iff some constraint of cln(T)
+// is violated by the *explicit* ABox alone — the positive constraints
+// are compiled into the closure, so consistency checking needs no
+// saturation and no reformulation.
+
+type conceptPair struct{ a, b string } // rendered concepts, a ≤ b
+type rolePair struct{ a, b string }    // rendered roles, canonical orientation
+
+func normConceptPair(x, y Concept) conceptPair {
+	xs, ys := x.String(), y.String()
+	if xs > ys {
+		xs, ys = ys, xs
+	}
+	return conceptPair{xs, ys}
+}
+
+// normRolePair canonicalizes a role disjointness R ⊑ ¬S over its four
+// equivalent orientations {R⊥S, S⊥R, R⁻⊥S⁻, S⁻⊥R⁻}.
+func normRolePair(x, y Role) rolePair {
+	cands := [][2]string{
+		{x.String(), y.String()},
+		{y.String(), x.String()},
+		{x.Inverse().String(), y.Inverse().String()},
+		{y.Inverse().String(), x.Inverse().String()},
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i][0] != cands[j][0] {
+			return cands[i][0] < cands[j][0]
+		}
+		return cands[i][1] < cands[j][1]
+	})
+	return rolePair{cands[0][0], cands[0][1]}
+}
+
+// niClosure computes cln(T) as explicit axiom lists.
+type niClosure struct {
+	concepts map[conceptPair][2]Concept
+	roles    map[rolePair][2]Role
+}
+
+// CloseNI computes the closure of the TBox's negative inclusions under
+// its positive inclusions:
+//
+//	B1 ⊑ B2,  B2 ⊑ ¬B3 (or B3 ⊑ ¬B2)  ⟹  B1 ⊑ ¬B3
+//	R1 ⊑ R2,  ∃R2 ⊑ ¬B  ⟹  ∃R1 ⊑ ¬B      (and the ⁻ variant)
+//	R1 ⊑ R2,  R2 ⊑ ¬R3 (or R3 ⊑ ¬R2)    ⟹  R1 ⊑ ¬R3
+//
+// The result lists every entailed disjointness, including the asserted
+// ones, with concept pairs normalized (B1 ⊑ ¬B2 ≡ B2 ⊑ ¬B1).
+func (t *TBox) CloseNI() []Axiom {
+	cl := &niClosure{
+		concepts: make(map[conceptPair][2]Concept),
+		roles:    make(map[rolePair][2]Role),
+	}
+	var queueC [][2]Concept
+	var queueR [][2]Role
+	addC := func(x, y Concept) {
+		k := normConceptPair(x, y)
+		if _, ok := cl.concepts[k]; !ok {
+			cl.concepts[k] = [2]Concept{x, y}
+			queueC = append(queueC, [2]Concept{x, y})
+		}
+	}
+	addR := func(x, y Role) {
+		k := normRolePair(x, y)
+		if _, ok := cl.roles[k]; !ok {
+			cl.roles[k] = [2]Role{x, y}
+			queueR = append(queueR, [2]Role{x, y})
+		}
+	}
+	for _, ax := range t.NegativeAxioms() {
+		switch ax.Kind {
+		case ConceptDisjointness:
+			addC(ax.LC, ax.RC)
+		case RoleDisjointness:
+			addR(ax.LR, ax.RR)
+		}
+	}
+	positives := t.PositiveAxioms()
+	// Pre-expand role inclusions into the concept inclusions they imply
+	// on their projections: LR ⊑ RR gives ∃LR ⊑ ∃RR and ∃LR⁻ ⊑ ∃RR⁻.
+	type ci struct{ l, r Concept }
+	var cis []ci
+	for _, ax := range positives {
+		switch ax.Kind {
+		case ConceptInclusion:
+			cis = append(cis, ci{ax.LC, ax.RC})
+		case RoleInclusion:
+			cis = append(cis, ci{Some(ax.LR), Some(ax.RR)})
+			cis = append(cis, ci{Some(ax.LR.Inverse()), Some(ax.RR.Inverse())})
+		}
+	}
+	for len(queueC) > 0 || len(queueR) > 0 {
+		if len(queueC) > 0 {
+			pair := queueC[0]
+			queueC = queueC[1:]
+			// B1 ⊑ B2 with B2 ∈ {pair}: derive B1 disjoint from the
+			// other element.
+			for _, c := range cis {
+				if c.r == pair[0] {
+					addC(c.l, pair[1])
+				}
+				if c.r == pair[1] {
+					addC(c.l, pair[0])
+				}
+			}
+			continue
+		}
+		pair := queueR[0]
+		queueR = queueR[1:]
+		for _, ax := range positives {
+			if ax.Kind != RoleInclusion {
+				continue
+			}
+			// LR ⊑ RR: RR (or RR⁻) appearing in the pair propagates to
+			// LR (resp. LR⁻).
+			for side := 0; side < 2; side++ {
+				other := pair[1-side]
+				if ax.RR == pair[side] {
+					addR(ax.LR, other)
+				}
+				if ax.RR.Inverse() == pair[side] {
+					addR(ax.LR.Inverse(), other)
+				}
+			}
+		}
+	}
+	out := make([]Axiom, 0, len(cl.concepts)+len(cl.roles))
+	for _, p := range cl.concepts {
+		out = append(out, CDisj(p[0], p[1]))
+	}
+	for _, p := range cl.roles {
+		out = append(out, RDisj(p[0], p[1]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// EntailsConceptDisjointness reports T ⊨ b1 ⊑ ¬b2.
+func (t *TBox) EntailsConceptDisjointness(b1, b2 Concept) bool {
+	k := normConceptPair(b1, b2)
+	for _, ax := range t.CloseNI() {
+		if ax.Kind == ConceptDisjointness && normConceptPair(ax.LC, ax.RC) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// EntailsRoleDisjointness reports T ⊨ r1 ⊑ ¬r2.
+func (t *TBox) EntailsRoleDisjointness(r1, r2 Role) bool {
+	k := normRolePair(r1, r2)
+	for _, ax := range t.CloseNI() {
+		if ax.Kind == RoleDisjointness && normRolePair(ax.LR, ax.RR) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckConsistencyViaClosure decides T-consistency by evaluating every
+// constraint of cln(T) directly against the explicit ABox — no
+// saturation. It must agree with KB.CheckConsistency (property-tested).
+func (kb KB) CheckConsistencyViaClosure() error {
+	// Index explicit memberships of basic concepts.
+	inConcept := func(c Concept, ind string) bool {
+		for _, as := range kb.A.Assertions {
+			if c.Exists {
+				if !as.IsRole() || as.Pred != c.Role.Name {
+					continue
+				}
+				if !c.Role.Inv && as.S == ind {
+					return true
+				}
+				if c.Role.Inv && as.O == ind {
+					return true
+				}
+			} else if !as.IsRole() && as.Pred == c.Name && as.S == ind {
+				return true
+			}
+		}
+		return false
+	}
+	individuals := kb.A.Individuals()
+	for _, ax := range kb.T.CloseNI() {
+		switch ax.Kind {
+		case ConceptDisjointness:
+			for _, ind := range individuals {
+				if inConcept(ax.LC, ind) && inConcept(ax.RC, ind) {
+					return &Inconsistency{Axiom: ax, Witness: []string{ind}}
+				}
+			}
+		case RoleDisjointness:
+			for _, as := range kb.A.Assertions {
+				if !as.IsRole() || as.Pred != ax.LR.Name {
+					continue
+				}
+				a, b := as.S, as.O
+				if ax.LR.Inv {
+					a, b = b, a
+				}
+				x, y := a, b
+				if ax.RR.Inv {
+					x, y = y, x
+				}
+				for _, as2 := range kb.A.Assertions {
+					if as2.IsRole() && as2.Pred == ax.RR.Name && as2.S == x && as2.O == y {
+						return &Inconsistency{Axiom: ax, Witness: []string{as.S, as.O}}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package dllite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestExample2EntailedDisjointness: K ⊨ ∃supervisedBy ⊑ ¬∃supervisedBy⁻
+// due to (T6)+(T7) — the paper's Example 2, first bullet.
+func TestExample2EntailedDisjointness(t *testing.T) {
+	tb := MustParseTBox(`
+PhDStudent <= Researcher
+exists worksWith <= Researcher
+exists worksWith- <= Researcher
+worksWith <= worksWith-
+role: supervisedBy <= worksWith
+exists supervisedBy <= PhDStudent
+PhDStudent <= not exists supervisedBy-
+`)
+	if !tb.EntailsConceptDisjointness(Some(R("supervisedBy")), Some(RInv("supervisedBy"))) {
+		t.Error("∃supervisedBy ⊑ ¬∃supervisedBy⁻ must be entailed (T6+T7)")
+	}
+	// Asserted NI is also in the closure.
+	if !tb.EntailsConceptDisjointness(C("PhDStudent"), Some(RInv("supervisedBy"))) {
+		t.Error("asserted NI must be in the closure")
+	}
+	// Symmetric orientation works.
+	if !tb.EntailsConceptDisjointness(Some(RInv("supervisedBy")), C("PhDStudent")) {
+		t.Error("closure must be orientation-insensitive")
+	}
+	// Negative control.
+	if tb.EntailsConceptDisjointness(C("Researcher"), C("PhDStudent")) {
+		t.Error("Researcher and PhDStudent are not disjoint")
+	}
+}
+
+func TestConceptNIPropagationChain(t *testing.T) {
+	tb := MustParseTBox(`
+A <= B
+B <= C
+C <= not D
+E <= D
+`)
+	// A ⊑ B ⊑ C ⊥ D ⊒ E  ⟹  A ⊥ D, A ⊥ E, B ⊥ E, ...
+	cases := [][2]Concept{
+		{C("C"), C("D")},
+		{C("B"), C("D")},
+		{C("A"), C("D")},
+		{C("A"), C("E")},
+		{C("B"), C("E")},
+		{C("C"), C("E")},
+	}
+	for _, c := range cases {
+		if !tb.EntailsConceptDisjointness(c[0], c[1]) {
+			t.Errorf("%v ⊥ %v must be entailed", c[0], c[1])
+		}
+	}
+	if tb.EntailsConceptDisjointness(C("A"), C("B")) {
+		t.Error("A and B are compatible")
+	}
+}
+
+func TestRoleNIPropagation(t *testing.T) {
+	tb := MustParseTBox(`
+role: P <= Q
+role: Q <= not S
+role: T <= S
+`)
+	if !tb.EntailsRoleDisjointness(R("P"), R("S")) {
+		t.Error("P ⊑ Q ⊥ S ⟹ P ⊥ S")
+	}
+	if !tb.EntailsRoleDisjointness(R("P"), R("T")) {
+		t.Error("P ⊥ T via T ⊑ S")
+	}
+	// Inverse orientation of the same fact.
+	if !tb.EntailsRoleDisjointness(RInv("P"), RInv("S")) {
+		t.Error("P⁻ ⊥ S⁻ is the same constraint")
+	}
+}
+
+func TestRoleInclusionLiftsToExistsNI(t *testing.T) {
+	tb := MustParseTBox(`
+role: P <= Q
+exists Q <= not A
+`)
+	if !tb.EntailsConceptDisjointness(Some(R("P")), C("A")) {
+		t.Error("P ⊑ Q and ∃Q ⊥ A imply ∃P ⊥ A")
+	}
+	// And the inverse projection is untouched.
+	if tb.EntailsConceptDisjointness(Some(RInv("P")), C("A")) {
+		t.Error("∃P⁻ ⊥ A must NOT follow")
+	}
+}
+
+func TestCloseNIEmptyWithoutNegation(t *testing.T) {
+	tb := MustParseTBox("A <= B\nrole: P <= Q")
+	if got := tb.CloseNI(); len(got) != 0 {
+		t.Errorf("negation-free TBox has empty closure, got %v", got)
+	}
+}
+
+// randConsistencyKB builds random KBs with negative axioms.
+func randConsistencyKB(r *rand.Rand) KB {
+	concepts := []string{"A", "B", "C"}
+	roles := []string{"P", "Q"}
+	randConcept := func() Concept {
+		switch r.Intn(3) {
+		case 0:
+			return C(concepts[r.Intn(len(concepts))])
+		case 1:
+			return Some(R(roles[r.Intn(len(roles))]))
+		default:
+			return Some(RInv(roles[r.Intn(len(roles))]))
+		}
+	}
+	var axioms []Axiom
+	n := 2 + r.Intn(7)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			lr := R(roles[r.Intn(len(roles))])
+			rr := R(roles[r.Intn(len(roles))])
+			if r.Intn(2) == 0 {
+				rr = rr.Inverse()
+			}
+			axioms = append(axioms, RIncl(lr, rr))
+		case 1:
+			axioms = append(axioms, CDisj(randConcept(), randConcept()))
+		case 2:
+			lr := R(roles[r.Intn(len(roles))])
+			rr := R(roles[r.Intn(len(roles))])
+			if lr.Name != rr.Name { // R ⊥ R would make R empty; keep it simple
+				axioms = append(axioms, RDisj(lr, rr))
+			}
+		default:
+			axioms = append(axioms, CIncl(randConcept(), randConcept()))
+		}
+	}
+	tb := MustTBox(axioms)
+	ab := NewABox()
+	inds := []string{"a", "b", "c"}
+	m := 1 + r.Intn(8)
+	for i := 0; i < m; i++ {
+		if r.Intn(2) == 0 {
+			ab.Add(ConceptAssertion(concepts[r.Intn(len(concepts))], inds[r.Intn(len(inds))]))
+		} else {
+			ab.Add(RoleAssertion(roles[r.Intn(len(roles))], inds[r.Intn(len(inds))], inds[r.Intn(len(inds))]))
+		}
+	}
+	return KB{T: tb, A: ab}
+}
+
+// TestPropClosureAgreesWithSaturation: the two independent consistency
+// procedures (saturation vs. NI-closure) must agree on random KBs.
+func TestPropClosureAgreesWithSaturation(t *testing.T) {
+	f := func(seed int64) bool {
+		kb := randConsistencyKB(rand.New(rand.NewSource(seed)))
+		bySaturation := kb.CheckConsistency() == nil
+		byClosure := kb.CheckConsistencyViaClosure() == nil
+		if bySaturation != byClosure {
+			t.Logf("seed %d: saturation=%v closure=%v\nT=%v\nA=%v",
+				seed, bySaturation, byClosure, kb.T.Axioms, kb.A.Assertions)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package dllite
+
+// TBox-level entailment of positive inclusions, by reachability in the
+// inclusion graph: B1 ⊑ B2 is entailed iff B2 is reachable from B1
+// following concept inclusions and the projections of role inclusions;
+// R1 ⊑ R2 iff R2 (with orientation) is reachable from R1 through role
+// inclusions. This is the classical polynomial TBox reasoning for
+// DL-LiteR (subsumption without negation); negative entailment lives in
+// closure.go.
+
+// EntailsRoleInclusion reports T ⊨ r1 ⊑ r2.
+func (t *TBox) EntailsRoleInclusion(r1, r2 Role) bool {
+	if r1 == r2 {
+		return true
+	}
+	// BFS over role inclusions, tracking orientation.
+	seen := map[Role]bool{r1: true}
+	queue := []Role{r1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == r2 {
+			return true
+		}
+		for _, ax := range t.PositiveAxioms() {
+			if ax.Kind != RoleInclusion {
+				continue
+			}
+			// cur matches LR directly or inverted.
+			var next Role
+			switch {
+			case ax.LR == cur:
+				next = ax.RR
+			case ax.LR.Inverse() == cur:
+				next = ax.RR.Inverse()
+			default:
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// EntailsConceptInclusion reports T ⊨ b1 ⊑ b2 for basic concepts,
+// following concept inclusions plus the ∃-projections of role
+// inclusions (r ⊑ s entails ∃r ⊑ ∃s and ∃r⁻ ⊑ ∃s⁻).
+func (t *TBox) EntailsConceptInclusion(b1, b2 Concept) bool {
+	if b1 == b2 {
+		return true
+	}
+	seen := map[Concept]bool{b1: true}
+	queue := []Concept{b1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b2 {
+			return true
+		}
+		push := func(c Concept) {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+		for _, ax := range t.PositiveAxioms() {
+			switch ax.Kind {
+			case ConceptInclusion:
+				if ax.LC == cur {
+					push(ax.RC)
+				}
+			case RoleInclusion:
+				if cur.Exists {
+					switch {
+					case ax.LR == cur.Role:
+						push(Some(ax.RR))
+					case ax.LR.Inverse() == cur.Role:
+						push(Some(ax.RR.Inverse()))
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Subsumers returns every basic concept b with T ⊨ c ⊑ b, including c
+// itself (useful for classification-style output).
+func (t *TBox) Subsumers(c Concept) []Concept {
+	seen := map[Concept]bool{c: true}
+	queue := []Concept{c}
+	var out []Concept
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		push := func(n Concept) {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+		for _, ax := range t.PositiveAxioms() {
+			switch ax.Kind {
+			case ConceptInclusion:
+				if ax.LC == cur {
+					push(ax.RC)
+				}
+			case RoleInclusion:
+				if cur.Exists {
+					switch {
+					case ax.LR == cur.Role:
+						push(Some(ax.RR))
+					case ax.LR.Inverse() == cur.Role:
+						push(Some(ax.RR.Inverse()))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package dllite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ABox is a finite set of assertions. It preserves insertion order and
+// deduplicates exact repeats.
+type ABox struct {
+	Assertions []Assertion
+	seen       map[Assertion]bool
+}
+
+// NewABox builds an empty ABox.
+func NewABox() *ABox {
+	return &ABox{seen: make(map[Assertion]bool)}
+}
+
+// Add inserts an assertion if not already present and reports whether it
+// was new.
+func (a *ABox) Add(as Assertion) bool {
+	if a.seen == nil {
+		a.seen = make(map[Assertion]bool)
+		for _, x := range a.Assertions {
+			a.seen[x] = true
+		}
+	}
+	if a.seen[as] {
+		return false
+	}
+	a.seen[as] = true
+	a.Assertions = append(a.Assertions, as)
+	return true
+}
+
+// Size returns the number of stored facts.
+func (a *ABox) Size() int { return len(a.Assertions) }
+
+// Individuals returns the sorted set of individuals mentioned in the ABox.
+func (a *ABox) Individuals() []string {
+	set := make(map[string]bool)
+	for _, as := range a.Assertions {
+		set[as.S] = true
+		if as.IsRole() {
+			set[as.O] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KB is a knowledge base 〈T, A〉.
+type KB struct {
+	T *TBox
+	A *ABox
+}
+
+// saturation holds the closure of a KB over named individuals:
+// for every individual, the basic concepts it provably belongs to, and
+// all entailed role assertions among named individuals. In DL-LiteR the
+// only role assertions entailed over named individuals come from the
+// role-inclusion closure of explicit role assertions, and concept
+// memberships follow by closing concept inclusions over explicit
+// concept assertions plus ∃R memberships; this is sound and complete
+// for instance checking of basic concepts and roles (Calvanese et al.,
+// JAR 2007, Lemma on canonical models restricted to named individuals).
+type saturation struct {
+	concepts map[string]map[Concept]bool // individual -> basic concepts
+	roles    map[string]map[[2]string]bool
+}
+
+// saturate computes the closure. Runtime is O(|A| · |T|) per fixpoint
+// round; intended for small-to-medium ABoxes (tests, examples, the
+// consistency checker). Large-scale query answering goes through
+// reformulation + the engine instead.
+func (kb KB) saturate() *saturation {
+	s := &saturation{
+		concepts: make(map[string]map[Concept]bool),
+		roles:    make(map[string]map[[2]string]bool),
+	}
+	addRole := func(role string, a, b string) bool {
+		m := s.roles[role]
+		if m == nil {
+			m = make(map[[2]string]bool)
+			s.roles[role] = m
+		}
+		k := [2]string{a, b}
+		if m[k] {
+			return false
+		}
+		m[k] = true
+		return true
+	}
+	addConcept := func(ind string, c Concept) bool {
+		m := s.concepts[ind]
+		if m == nil {
+			m = make(map[Concept]bool)
+			s.concepts[ind] = m
+		}
+		if m[c] {
+			return false
+		}
+		m[c] = true
+		return true
+	}
+	for _, as := range kb.A.Assertions {
+		if as.IsRole() {
+			addRole(as.Pred, as.S, as.O)
+		} else {
+			addConcept(as.S, C(as.Pred))
+		}
+	}
+	positives := kb.T.PositiveAxioms()
+	// Concept inclusions to close memberships under: the TBox's own
+	// plus the projections implied by role inclusions (LR ⊑ RR gives
+	// ∃LR ⊑ ∃RR and ∃LR⁻ ⊑ ∃RR⁻). The projections matter when the
+	// witness is anonymous — e.g. B ⊑ ∃Q and Q ⊑ P entail ∃P(b) for
+	// every B(b) even though no P fact exists.
+	type ci struct{ l, r Concept }
+	var cis []ci
+	for _, ax := range positives {
+		switch ax.Kind {
+		case ConceptInclusion:
+			cis = append(cis, ci{ax.LC, ax.RC})
+		case RoleInclusion:
+			cis = append(cis, ci{Some(ax.LR), Some(ax.RR)})
+			cis = append(cis, ci{Some(ax.LR.Inverse()), Some(ax.RR.Inverse())})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Role inclusions: R1 ⊑ R2 over current role facts.
+		for _, ax := range positives {
+			if ax.Kind != RoleInclusion {
+				continue
+			}
+			for pair := range clonePairs(s.roles[ax.LR.Name]) {
+				a, b := pair[0], pair[1]
+				if ax.LR.Inv {
+					a, b = b, a
+				}
+				// (a,b) is a fact of the abstract role ax.LR read
+				// forward; now write it into ax.RR.
+				x, y := a, b
+				if ax.RR.Inv {
+					x, y = y, x
+				}
+				if addRole(ax.RR.Name, x, y) {
+					changed = true
+				}
+			}
+		}
+		// ∃R memberships from role facts.
+		for role, pairs := range s.roles {
+			for pair := range clonePairs(pairs) {
+				if addConcept(pair[0], Some(R(role))) {
+					changed = true
+				}
+				if addConcept(pair[1], Some(RInv(role))) {
+					changed = true
+				}
+			}
+		}
+		// Concept inclusions B1 ⊑ B2 (including role-inclusion
+		// projections). When B2 = ∃R the axiom creates an unnamed
+		// witness, which never affects memberships of named individuals
+		// beyond ∃R itself, so recording ∃R(ind) is exactly right.
+		for _, c := range cis {
+			for ind, set := range s.concepts {
+				if set[c.l] {
+					if addConcept(ind, c.r) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func clonePairs(m map[[2]string]bool) map[[2]string]bool {
+	// Iterating while inserting into the same map is illegal; snapshot.
+	out := make(map[[2]string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// EntailsConcept reports K ⊨ B(ind) for a basic concept B.
+func (kb KB) EntailsConcept(b Concept, ind string) bool {
+	return kb.saturate().concepts[ind][b]
+}
+
+// EntailsRole reports K ⊨ r(a, b) for a (possibly inverse) role r.
+func (kb KB) EntailsRole(r Role, a, b string) bool {
+	if r.Inv {
+		a, b = b, a
+	}
+	return kb.saturate().roles[r.Name][[2]string{a, b}]
+}
+
+// Inconsistency describes a violated disjointness constraint.
+type Inconsistency struct {
+	Axiom   Axiom
+	Witness []string // one or two individuals violating the axiom
+}
+
+func (v Inconsistency) Error() string {
+	return fmt.Sprintf("KB inconsistent: %s violated by %v", v.Axiom, v.Witness)
+}
+
+// CheckConsistency verifies T-consistency of the ABox (Section 2.1):
+// the KB is consistent iff no explicit or entailed fact contradicts a
+// negative constraint. It returns nil when consistent, or an
+// *Inconsistency describing the first violation found.
+func (kb KB) CheckConsistency() error {
+	s := kb.saturate()
+	for _, ax := range kb.T.NegativeAxioms() {
+		switch ax.Kind {
+		case ConceptDisjointness:
+			for ind, set := range s.concepts {
+				if set[ax.LC] && set[ax.RC] {
+					return &Inconsistency{Axiom: ax, Witness: []string{ind}}
+				}
+			}
+		case RoleDisjointness:
+			for pair := range s.roles[ax.LR.Name] {
+				a, b := pair[0], pair[1]
+				if ax.LR.Inv {
+					a, b = b, a
+				}
+				x, y := a, b
+				if ax.RR.Inv {
+					x, y = y, x
+				}
+				if s.roles[ax.RR.Name][[2]string{x, y}] {
+					return &Inconsistency{Axiom: ax, Witness: []string{pair[0], pair[1]}}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package dllite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseTBox reads a TBox from a line-oriented text format, one axiom per
+// line. Blank lines and lines starting with '#' are ignored. Grammar:
+//
+//	axiom   := side "<=" [ "not" ] side
+//	side    := name | "exists" role | role        (role sides only in role axioms)
+//	role    := name [ "-" ]
+//
+// A side is a role inclusion side when both sides are bare role
+// expressions (a name optionally suffixed by '-') and neither side is an
+// 'exists' expression nor a declared concept. Because that is ambiguous
+// for bare names, role axioms must mark at least one side with a '-' or
+// be introduced by the "role:" prefix:
+//
+//	PhDStudent <= Researcher            # concept inclusion
+//	exists worksWith <= Researcher      # ∃worksWith ⊑ Researcher
+//	exists worksWith- <= Researcher     # ∃worksWith⁻ ⊑ Researcher
+//	worksWith <= worksWith-             # role inclusion (rhs has '-')
+//	role: supervisedBy <= worksWith     # role inclusion, explicit
+//	PhDStudent <= not exists supervisedBy-
+//	role: teaches <= not takes          # role disjointness
+func ParseTBox(r io.Reader) (*TBox, error) {
+	var axioms []Axiom
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ax, err := ParseAxiom(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		axioms = append(axioms, ax)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTBox(axioms)
+}
+
+// ParseTBoxString is ParseTBox over a string.
+func ParseTBoxString(s string) (*TBox, error) {
+	return ParseTBox(strings.NewReader(s))
+}
+
+// MustParseTBox parses a TBox from a string and panics on error.
+func MustParseTBox(s string) *TBox {
+	t, err := ParseTBoxString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseAxiom parses a single axiom line.
+func ParseAxiom(line string) (Axiom, error) {
+	roleAxiom := false
+	if rest, ok := strings.CutPrefix(line, "role:"); ok {
+		roleAxiom = true
+		line = strings.TrimSpace(rest)
+	}
+	parts := strings.SplitN(line, "<=", 2)
+	if len(parts) != 2 {
+		return Axiom{}, fmt.Errorf("axiom %q: missing '<='", line)
+	}
+	lhs := strings.TrimSpace(parts[0])
+	rhs := strings.TrimSpace(parts[1])
+	neg := false
+	if rest, ok := strings.CutPrefix(rhs, "not "); ok {
+		neg = true
+		rhs = strings.TrimSpace(rest)
+	}
+	if strings.HasPrefix(lhs, "not ") {
+		return Axiom{}, fmt.Errorf("axiom %q: negation is only allowed on the right-hand side", line)
+	}
+	lIsRoleExpr := isBareRole(lhs)
+	rIsRoleExpr := isBareRole(rhs)
+	if roleAxiom || (lIsRoleExpr && rIsRoleExpr && (strings.HasSuffix(lhs, "-") || strings.HasSuffix(rhs, "-"))) {
+		lr, err := parseRole(lhs)
+		if err != nil {
+			return Axiom{}, fmt.Errorf("axiom %q: %w", line, err)
+		}
+		rr, err := parseRole(rhs)
+		if err != nil {
+			return Axiom{}, fmt.Errorf("axiom %q: %w", line, err)
+		}
+		if neg {
+			return RDisj(lr, rr), nil
+		}
+		return RIncl(lr, rr), nil
+	}
+	lc, err := parseConcept(lhs)
+	if err != nil {
+		return Axiom{}, fmt.Errorf("axiom %q: %w", line, err)
+	}
+	rc, err := parseConcept(rhs)
+	if err != nil {
+		return Axiom{}, fmt.Errorf("axiom %q: %w", line, err)
+	}
+	if neg {
+		return CDisj(lc, rc), nil
+	}
+	return CIncl(lc, rc), nil
+}
+
+func isBareRole(s string) bool {
+	return !strings.HasPrefix(s, "exists ") && !strings.ContainsAny(s, " \t")
+}
+
+func parseRole(s string) (Role, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Role{}, fmt.Errorf("empty role")
+	}
+	if strings.ContainsAny(s, " \t") {
+		return Role{}, fmt.Errorf("bad role %q", s)
+	}
+	if name, ok := strings.CutSuffix(s, "-"); ok {
+		if name == "" || strings.HasSuffix(name, "-") {
+			return Role{}, fmt.Errorf("bad inverse role %q", s)
+		}
+		return RInv(name), nil
+	}
+	return R(s), nil
+}
+
+func parseConcept(s string) (Concept, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "exists "); ok {
+		r, err := parseRole(strings.TrimSpace(rest))
+		if err != nil {
+			return Concept{}, err
+		}
+		return Some(r), nil
+	}
+	if s == "" || s == "exists" || s == "not" || strings.ContainsAny(s, " \t") || strings.HasSuffix(s, "-") {
+		return Concept{}, fmt.Errorf("bad concept %q", s)
+	}
+	return C(s), nil
+}
+
+// FormatAxiom renders an axiom in the ParseAxiom input syntax
+// (round-trippable, ASCII-only).
+func FormatAxiom(a Axiom) string {
+	roleStr := func(r Role) string {
+		if r.Inv {
+			return r.Name + "-"
+		}
+		return r.Name
+	}
+	conceptStr := func(c Concept) string {
+		if c.Exists {
+			return "exists " + roleStr(c.Role)
+		}
+		return c.Name
+	}
+	switch a.Kind {
+	case ConceptInclusion:
+		return conceptStr(a.LC) + " <= " + conceptStr(a.RC)
+	case ConceptDisjointness:
+		return conceptStr(a.LC) + " <= not " + conceptStr(a.RC)
+	case RoleInclusion:
+		return "role: " + roleStr(a.LR) + " <= " + roleStr(a.RR)
+	default:
+		return "role: " + roleStr(a.LR) + " <= not " + roleStr(a.RR)
+	}
+}
+
+// ParseAssertion parses "A(a)" or "R(a,b)" fact lines.
+func ParseAssertion(line string) (Assertion, error) {
+	line = strings.TrimSpace(line)
+	open := strings.IndexByte(line, '(')
+	if open <= 0 || !strings.HasSuffix(line, ")") {
+		return Assertion{}, fmt.Errorf("bad assertion %q", line)
+	}
+	pred := strings.TrimSpace(line[:open])
+	inner := line[open+1 : len(line)-1]
+	args := strings.Split(inner, ",")
+	switch len(args) {
+	case 1:
+		s := strings.TrimSpace(args[0])
+		if s == "" {
+			return Assertion{}, fmt.Errorf("bad assertion %q", line)
+		}
+		return ConceptAssertion(pred, s), nil
+	case 2:
+		s, o := strings.TrimSpace(args[0]), strings.TrimSpace(args[1])
+		if s == "" || o == "" {
+			return Assertion{}, fmt.Errorf("bad assertion %q", line)
+		}
+		return RoleAssertion(pred, s, o), nil
+	default:
+		return Assertion{}, fmt.Errorf("bad assertion arity in %q", line)
+	}
+}
+
+// ParseABox reads assertions, one per line; '#' comments and blanks are
+// skipped.
+func ParseABox(r io.Reader) (*ABox, error) {
+	a := NewABox()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		as, err := ParseAssertion(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		a.Add(as)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// MustParseABox parses an ABox from a string and panics on error.
+func MustParseABox(s string) *ABox {
+	a, err := ParseABox(strings.NewReader(s))
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,92 @@
+// Package dllite implements DL-LiteR knowledge bases as defined in
+// Section 2 of the paper: TBoxes of concept/role inclusions (with and
+// without negation, covering all 22 constraint forms of Table 3 and its
+// negated counterparts), ABoxes of concept/role assertions, predicate
+// dependencies dep(N) (Definition 4), saturation-based assertion
+// entailment and T-consistency checking.
+package dllite
+
+import "fmt"
+
+// Role is a role name or its inverse: R or R⁻.
+type Role struct {
+	Name string
+	Inv  bool
+}
+
+// R builds the direct role with the given name.
+func R(name string) Role { return Role{Name: name} }
+
+// RInv builds the inverse of the role with the given name.
+func RInv(name string) Role { return Role{Name: name, Inv: true} }
+
+// Inverse returns the inverse role: (R)⁻ = R⁻ and (R⁻)⁻ = R.
+func (r Role) Inverse() Role { return Role{Name: r.Name, Inv: !r.Inv} }
+
+func (r Role) String() string {
+	if r.Inv {
+		return r.Name + "⁻"
+	}
+	return r.Name
+}
+
+// Concept is a basic concept B of DL-LiteR: either an atomic concept A,
+// or an unqualified existential restriction ∃R over a role or inverse
+// role (the projection on the first attribute of R).
+type Concept struct {
+	// Name is the atomic concept name when Exists is false.
+	Name string
+	// Role is the restricted role when Exists is true.
+	Role Role
+	// Exists discriminates ∃R from atomic concepts.
+	Exists bool
+}
+
+// C builds the atomic concept with the given name.
+func C(name string) Concept { return Concept{Name: name} }
+
+// Some builds the existential concept ∃r.
+func Some(r Role) Concept { return Concept{Role: r, Exists: true} }
+
+// PredName returns the underlying concept or role name — the cr(·)
+// operation of Definition 4.
+func (c Concept) PredName() string {
+	if c.Exists {
+		return c.Role.Name
+	}
+	return c.Name
+}
+
+func (c Concept) String() string {
+	if c.Exists {
+		return "∃" + c.Role.String()
+	}
+	return c.Name
+}
+
+// Assertion is an ABox fact: a concept assertion A(a) or a role
+// assertion R(a,b).
+type Assertion struct {
+	Pred string
+	S, O string // O is empty for concept assertions
+}
+
+// ConceptAssertion builds A(ind).
+func ConceptAssertion(concept, ind string) Assertion {
+	return Assertion{Pred: concept, S: ind}
+}
+
+// RoleAssertion builds R(s, o).
+func RoleAssertion(role, s, o string) Assertion {
+	return Assertion{Pred: role, S: s, O: o}
+}
+
+// IsRole reports whether the assertion is a role assertion.
+func (a Assertion) IsRole() bool { return a.O != "" }
+
+func (a Assertion) String() string {
+	if a.IsRole() {
+		return fmt.Sprintf("%s(%s, %s)", a.Pred, a.S, a.O)
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, a.S)
+}

@@ -1,0 +1,64 @@
+package engine
+
+// Layout-dispatched access paths. The executor only goes through these,
+// so the same plans run on both layouts; the RDF layout pays its
+// per-slot probing cost inside rdfStore.
+
+// ConceptMembers returns all members of a concept.
+func (db *DB) ConceptMembers(name string) []int64 {
+	if db.Layout == LayoutRDF {
+		return db.rdf.conceptMembers(name)
+	}
+	t := db.concepts[name]
+	if t == nil {
+		return nil
+	}
+	return t.IDs
+}
+
+// ConceptContains probes concept membership.
+func (db *DB) ConceptContains(name string, id int64) bool {
+	if db.Layout == LayoutRDF {
+		return db.rdf.conceptContains(name, id)
+	}
+	return db.concepts[name].Contains(id)
+}
+
+// RoleObjects returns the objects reachable from subject s.
+func (db *DB) RoleObjects(name string, s int64) []int64 {
+	if db.Layout == LayoutRDF {
+		return db.rdf.roleObjects(name, s)
+	}
+	return db.roles[name].Objects(s)
+}
+
+// RoleSubjects returns the subjects reaching object o.
+func (db *DB) RoleSubjects(name string, o int64) []int64 {
+	if db.Layout == LayoutRDF {
+		return db.rdf.roleSubjects(name, o)
+	}
+	return db.roles[name].Subjects(o)
+}
+
+// RoleContains probes pair membership.
+func (db *DB) RoleContains(name string, s, o int64) bool {
+	if db.Layout == LayoutRDF {
+		return db.rdf.roleContains(name, s, o)
+	}
+	return db.roles[name].ContainsPair(s, o)
+}
+
+// RolePairs visits every pair of the role (full scan).
+func (db *DB) RolePairs(name string, visit func(s, o int64)) {
+	if db.Layout == LayoutRDF {
+		db.rdf.rolePairs(name, visit)
+		return
+	}
+	t := db.roles[name]
+	if t == nil {
+		return
+	}
+	for _, p := range t.Pairs {
+		visit(p[0], p[1])
+	}
+}

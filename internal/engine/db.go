@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dllite"
+)
+
+// Layout selects the physical data layout (Section 6.1).
+type Layout int
+
+const (
+	// LayoutSimple stores a unary table per concept and a binary table
+	// per role, with all one- and two-attribute indexes.
+	LayoutSimple Layout = iota
+	// LayoutRDF stores assertions in DB2RDF-style entity-oriented
+	// hashed-column tables (DPH/RPH) [9].
+	LayoutRDF
+)
+
+func (l Layout) String() string {
+	if l == LayoutRDF {
+		return "RDF layout"
+	}
+	return "Simple layout"
+}
+
+// DB is a loaded database (the ABox under a physical layout).
+type DB struct {
+	Dict   *Dictionary
+	Layout Layout
+
+	concepts map[string]*ConceptTable
+	roles    map[string]*RoleTable
+	rdf      *rdfStore // non-nil when Layout == LayoutRDF
+
+	stats *Statistics
+}
+
+// NewDB builds an empty database with the given layout.
+func NewDB(layout Layout) *DB {
+	return &DB{
+		Dict:     NewDictionary(),
+		Layout:   layout,
+		concepts: make(map[string]*ConceptTable),
+		roles:    make(map[string]*RoleTable),
+	}
+}
+
+// AddConceptFact stores A(ind).
+func (db *DB) AddConceptFact(concept, ind string) {
+	id := db.Dict.Encode(ind)
+	t := db.concepts[concept]
+	if t == nil {
+		t = newConceptTable()
+		db.concepts[concept] = t
+	}
+	t.add(id)
+	db.stats = nil
+}
+
+// AddRoleFact stores R(s, o).
+func (db *DB) AddRoleFact(role, s, o string) {
+	sid, oid := db.Dict.Encode(s), db.Dict.Encode(o)
+	t := db.roles[role]
+	if t == nil {
+		t = newRoleTable()
+		db.roles[role] = t
+	}
+	t.add(sid, oid)
+	db.stats = nil
+}
+
+// LoadABox bulk-loads an ABox and finalizes the layout.
+func (db *DB) LoadABox(ab *dllite.ABox) {
+	for _, as := range ab.Assertions {
+		if as.IsRole() {
+			db.AddRoleFact(as.Pred, as.S, as.O)
+		} else {
+			db.AddConceptFact(as.Pred, as.S)
+		}
+	}
+	db.Finalize()
+}
+
+// Finalize sorts tables, derives the RDF layout when selected, and
+// computes statistics. It must be called after loading and before
+// querying; loaders in this repo call it for you.
+func (db *DB) Finalize() {
+	for _, t := range db.concepts {
+		t.finalize()
+	}
+	if db.Layout == LayoutRDF {
+		db.rdf = buildRDFStore(db)
+	}
+	db.stats = computeStatistics(db)
+}
+
+// NumFacts returns the total number of stored assertions.
+func (db *DB) NumFacts() int {
+	n := 0
+	for _, t := range db.concepts {
+		n += t.Card()
+	}
+	for _, t := range db.roles {
+		n += t.Card()
+	}
+	return n
+}
+
+// Concept returns the concept table (nil when absent: empty relation).
+func (db *DB) Concept(name string) *ConceptTable { return db.concepts[name] }
+
+// Role returns the role table (nil when absent: empty relation).
+func (db *DB) Role(name string) *RoleTable { return db.roles[name] }
+
+// ConceptNames returns the stored concept table names, sorted.
+func (db *DB) ConceptNames() []string {
+	out := make([]string, 0, len(db.concepts))
+	for k := range db.concepts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RoleNames returns the stored role table names, sorted.
+func (db *DB) RoleNames() []string {
+	out := make([]string, 0, len(db.roles))
+	for k := range db.roles {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the table statistics, computing them if needed.
+func (db *DB) Stats() *Statistics {
+	if db.stats == nil {
+		db.Finalize()
+	}
+	return db.stats
+}
+
+// Statistics holds per-table cardinalities and distinct-value counts —
+// what the cost models consume (Section 6.1: "statistics on the stored
+// data (cardinality and number of distinct values in each stored table
+// attribute)").
+type Statistics struct {
+	TotalFacts    int
+	TotalEntities int
+
+	ConceptCard map[string]int
+	RoleCard    map[string]int
+	RoleDistS   map[string]int
+	RoleDistO   map[string]int
+}
+
+func computeStatistics(db *DB) *Statistics {
+	s := &Statistics{
+		ConceptCard: make(map[string]int),
+		RoleCard:    make(map[string]int),
+		RoleDistS:   make(map[string]int),
+		RoleDistO:   make(map[string]int),
+	}
+	for name, t := range db.concepts {
+		s.ConceptCard[name] = t.Card()
+		s.TotalFacts += t.Card()
+	}
+	for name, t := range db.roles {
+		s.RoleCard[name] = t.Card()
+		s.RoleDistS[name] = t.DistinctS()
+		s.RoleDistO[name] = t.DistinctO()
+		s.TotalFacts += t.Card()
+	}
+	s.TotalEntities = db.Dict.Size()
+	return s
+}
+
+// CardConcept returns the concept cardinality (0 for unknown tables).
+func (s *Statistics) CardConcept(name string) int { return s.ConceptCard[name] }
+
+// CardRole returns the role cardinality (0 for unknown tables).
+func (s *Statistics) CardRole(name string) int { return s.RoleCard[name] }
+
+// String summarizes the statistics.
+func (s *Statistics) String() string {
+	return fmt.Sprintf("stats{facts=%d, entities=%d, concepts=%d, roles=%d}",
+		s.TotalFacts, s.TotalEntities, len(s.ConceptCard), len(s.RoleCard))
+}

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Relation is a materialized intermediate or final result: rows of ids
+// under a schema of variable names.
+type Relation struct {
+	Schema []string
+	Rows   [][]int64
+}
+
+// rowKey serializes a row for hashing.
+func rowKey(row []int64) string {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return string(buf)
+}
+
+// Distinct removes duplicate rows in place (stable).
+func (r *Relation) Distinct() {
+	seen := make(map[string]bool, len(r.Rows))
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	r.Rows = out
+}
+
+// Decode renders the relation as sorted string tuples via the dictionary.
+func (r *Relation) Decode(d *Dictionary) [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		t := make([]string, len(row))
+		for j, id := range row {
+			t[j] = d.Decode(id)
+		}
+		out[i] = t
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ExecCQ evaluates a planned CQ, returning rows projected on the CQ
+// head (duplicates preserved; callers apply Distinct).
+func ExecCQ(plan CQPlan, db *DB) *Relation {
+	q := plan.Q
+	// Column layout: variables in order of first use across the plan.
+	colOf := map[string]int{}
+	var cols []string
+	for _, s := range plan.Steps {
+		for _, t := range q.Atoms[s.Atom].Args {
+			if t.IsVar() {
+				if _, ok := colOf[t.Name]; !ok {
+					colOf[t.Name] = len(cols)
+					cols = append(cols, t.Name)
+				}
+			}
+		}
+	}
+	rows := [][]int64{make([]int64, len(cols))}
+	boundMask := make([]bool, len(cols))
+	for _, s := range plan.Steps {
+		rows = execStep(q.Atoms[s.Atom], rows, colOf, boundMask, db)
+		for _, t := range q.Atoms[s.Atom].Args {
+			if t.IsVar() {
+				boundMask[colOf[t.Name]] = true
+			}
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	// Project onto the head.
+	out := &Relation{Schema: headSchema(q.Head)}
+	for _, row := range rows {
+		pr := make([]int64, len(q.Head))
+		ok := true
+		for i, h := range q.Head {
+			if h.Const {
+				id, found := db.Dict.Lookup(h.Name)
+				if !found {
+					ok = false
+					break
+				}
+				pr[i] = id
+			} else {
+				pr[i] = row[colOf[h.Name]]
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, pr)
+		}
+	}
+	return out
+}
+
+func headSchema(head []query.Term) []string {
+	s := make([]string, len(head))
+	for i, h := range head {
+		s[i] = h.Name
+	}
+	return s
+}
+
+// execStep joins the current rows with one atom using index lookups.
+func execStep(a query.Atom, rows [][]int64, colOf map[string]int, bound []bool, db *DB) [][]int64 {
+	// resolve returns (value, isBound) of a term under a row.
+	resolve := func(t query.Term, row []int64) (int64, bool, bool) {
+		if t.Const {
+			id, ok := db.Dict.Lookup(t.Name)
+			return id, true, ok
+		}
+		c := colOf[t.Name]
+		if bound[c] {
+			return row[c], true, true
+		}
+		return 0, false, true
+	}
+	var out [][]int64
+	emit := func(row []int64, t query.Term, v int64) []int64 {
+		if t.Const {
+			return row
+		}
+		c := colOf[t.Name]
+		if bound[c] {
+			return row
+		}
+		nr := make([]int64, len(row))
+		copy(nr, row)
+		nr[c] = v
+		return nr
+	}
+	if a.Arity() == 1 {
+		for _, row := range rows {
+			v, isB, ok := resolve(a.Args[0], row)
+			if !ok {
+				continue
+			}
+			if isB {
+				if db.ConceptContains(a.Pred, v) {
+					out = append(out, row)
+				}
+				continue
+			}
+			for _, id := range db.ConceptMembers(a.Pred) {
+				out = append(out, emit(row, a.Args[0], id))
+			}
+		}
+		return out
+	}
+	sameVar := a.Args[0].IsVar() && a.Args[1].IsVar() && a.Args[0].Name == a.Args[1].Name
+	for _, row := range rows {
+		s, sB, okS := resolve(a.Args[0], row)
+		o, oB, okO := resolve(a.Args[1], row)
+		if !okS || !okO {
+			continue
+		}
+		switch {
+		case sB && oB:
+			if db.RoleContains(a.Pred, s, o) {
+				out = append(out, row)
+			}
+		case sB && sameVar:
+			if db.RoleContains(a.Pred, s, s) {
+				out = append(out, row)
+			}
+		case sB:
+			for _, v := range db.RoleObjects(a.Pred, s) {
+				out = append(out, emit(row, a.Args[1], v))
+			}
+		case oB:
+			for _, v := range db.RoleSubjects(a.Pred, o) {
+				out = append(out, emit(row, a.Args[0], v))
+			}
+		default:
+			if sameVar {
+				db.RolePairs(a.Pred, func(ps, po int64) {
+					if ps == po {
+						out = append(out, emit(row, a.Args[0], ps))
+					}
+				})
+			} else {
+				db.RolePairs(a.Pred, func(ps, po int64) {
+					nr := emit(row, a.Args[0], ps)
+					nr = emit(nr, a.Args[1], po)
+					out = append(out, nr)
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ExecUCQ evaluates a planned UCQ with DISTINCT.
+func ExecUCQ(plan UCQPlan, db *DB) *Relation {
+	out := &Relation{Schema: headSchema(plan.U.Head())}
+	for i := range plan.Plans {
+		r := ExecCQ(plan.Plans[i], db)
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	out.Distinct()
+	return out
+}
+
+// HashJoin joins two relations on their shared schema variables.
+func HashJoin(l, r *Relation) *Relation {
+	rIdx := make(map[string]int, len(r.Schema))
+	for i, v := range r.Schema {
+		rIdx[v] = i
+	}
+	var common [][2]int
+	inCommon := make([]bool, len(r.Schema))
+	for i, v := range l.Schema {
+		if j, ok := rIdx[v]; ok {
+			common = append(common, [2]int{i, j})
+			inCommon[j] = true
+		}
+	}
+	schema := append([]string(nil), l.Schema...)
+	var rExtra []int
+	for j, v := range r.Schema {
+		if !inCommon[j] {
+			rExtra = append(rExtra, j)
+			schema = append(schema, v)
+		}
+	}
+	key := func(row []int64, idx [][2]int, side int) string {
+		k := make([]int64, len(idx))
+		for i, c := range idx {
+			k[i] = row[c[side]]
+		}
+		return rowKey(k)
+	}
+	buckets := make(map[string][][]int64, len(r.Rows))
+	for _, rt := range r.Rows {
+		buckets[key(rt, common, 1)] = append(buckets[key(rt, common, 1)], rt)
+	}
+	out := &Relation{Schema: schema}
+	for _, lt := range l.Rows {
+		for _, rt := range buckets[key(lt, common, 0)] {
+			row := make([]int64, 0, len(schema))
+			row = append(row, lt...)
+			for _, j := range rExtra {
+				row = append(row, rt[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// ExecJUCQ evaluates a planned JUCQ: materialize each fragment with
+// DISTINCT (the WITH clauses of Section 3), join smallest-first, then
+// project the overall head with DISTINCT.
+func ExecJUCQ(plan JUCQPlan, db *DB) *Relation {
+	frags := make([]*Relation, len(plan.Frags))
+	for i := range plan.Frags {
+		frags[i] = ExecUCQ(plan.Frags[i], db)
+	}
+	return JoinAndProject(frags, plan.J.Head, db)
+}
+
+// JoinAndProject joins materialized fragment relations smallest-first
+// and projects the overall head with DISTINCT — the tail of the WITH
+// query of Section 3. It is exported so view-based evaluation
+// (package views) can substitute cached fragment relations.
+func JoinAndProject(frags []*Relation, head []query.Term, db *DB) *Relation {
+	if len(frags) == 0 {
+		return &Relation{Schema: headSchema(head)}
+	}
+	ordered := make([]*Relation, len(frags))
+	copy(ordered, frags)
+	sort.SliceStable(ordered, func(i, j int) bool { return len(ordered[i].Rows) < len(ordered[j].Rows) })
+	cur := ordered[0]
+	for _, f := range ordered[1:] {
+		cur = HashJoin(cur, f)
+		if len(cur.Rows) == 0 {
+			break
+		}
+	}
+	return projectRelation(cur, head, db)
+}
+
+func projectRelation(r *Relation, head []query.Term, db *DB) *Relation {
+	idx := make([]int, len(head))
+	for i, h := range head {
+		idx[i] = -1
+		for j, v := range r.Schema {
+			if v == h.Name {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	out := &Relation{Schema: headSchema(head)}
+	for _, row := range r.Rows {
+		pr := make([]int64, len(head))
+		ok := true
+		for i, h := range head {
+			switch {
+			case idx[i] >= 0:
+				pr[i] = row[idx[i]]
+			case h.Const:
+				id, found := db.Dict.Lookup(h.Name)
+				if !found {
+					ok = false
+				}
+				pr[i] = id
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, pr)
+		}
+	}
+	out.Distinct()
+	return out
+}
+
+// Answer is the user-facing result of evaluating a query: decoded
+// tuples plus the execution's estimated cost.
+type Answer struct {
+	Tuples  [][]string
+	EstCost float64
+}
+
+// EvaluateCQ plans and runs a plain CQ.
+func EvaluateCQ(q query.CQ, db *DB, prof *Profile) Answer {
+	p := PlanCQ(q, db, prof)
+	r := ExecCQ(p, db)
+	r.Distinct()
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// EvaluateUCQ plans and runs a UCQ.
+func EvaluateUCQ(u query.UCQ, db *DB, prof *Profile) Answer {
+	p := PlanUCQ(u, db, prof)
+	r := ExecUCQ(p, db)
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// EvaluateJUCQ plans and runs a JUCQ.
+func EvaluateJUCQ(j query.JUCQ, db *DB, prof *Profile) Answer {
+	p := PlanJUCQ(j, db, prof)
+	r := ExecJUCQ(p, db)
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// String renders a Relation compactly (diagnostics).
+func (r *Relation) String() string {
+	return fmt.Sprintf("relation%v (%d rows)", r.Schema, len(r.Rows))
+}

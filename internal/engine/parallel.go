@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ExecUCQParallel evaluates a planned UCQ with its arms spread over
+// worker goroutines. This is an engine capability beyond the paper
+// (neither Postgres 9.3 nor DB2 10.5 parallelized union arms); it is
+// exercised by the ablation benchmarks to show how much of the UCQ
+// penalty is latency rather than total work. The database is read-only
+// during execution, so concurrent arm evaluation is safe.
+func ExecUCQParallel(plan UCQPlan, db *DB, workers int) *Relation {
+	n := len(plan.Plans)
+	if workers <= 1 || n <= 1 {
+		return ExecUCQ(plan, db)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Relation, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = ExecCQ(plan.Plans[i], db)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	out := &Relation{Schema: headSchema(plan.U.Head())}
+	for _, r := range results {
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	out.Distinct()
+	return out
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dllite"
+	"repro/internal/query"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	db := loadDB(t, LayoutSimple, sampleABox)
+	u := query.UCQ{Disjuncts: []query.CQ{
+		query.MustParseCQ("q(x) <- PhDStudent(x)"),
+		query.MustParseCQ("q(x) <- Researcher(x)"),
+		query.MustParseCQ("q(x) <- supervisedBy(x, y)"),
+		query.MustParseCQ("q(x) <- worksWith(y, x)"),
+	}}
+	plan := PlanUCQ(u, db, ProfilePostgres())
+	seq := ExecUCQ(plan, db)
+	for _, workers := range []int{1, 2, 4, 16} {
+		par := ExecUCQParallel(plan, db, workers)
+		if !sameSets(relToSet(par, db.Dict), relToSet(seq, db.Dict)) {
+			t.Errorf("workers=%d: parallel result differs", workers)
+		}
+	}
+}
+
+func TestPropParallelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ab := dllite.MustParseABox(randABoxText(r))
+		db := NewDB(LayoutSimple)
+		db.LoadABox(ab)
+		var u query.UCQ
+		n := 1 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			u.Disjuncts = append(u.Disjuncts, randQuery(r))
+		}
+		// All disjuncts must share head arity for a well-formed UCQ.
+		for i := range u.Disjuncts {
+			u.Disjuncts[i].Head = u.Disjuncts[i].Head[:1]
+		}
+		plan := PlanUCQ(u, db, ProfileDB2())
+		seq := ExecUCQ(plan, db)
+		par := ExecUCQParallel(plan, db, 4)
+		return sameSets(relToSet(par, db.Dict), relToSet(seq, db.Dict))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelSingleArmFallsBack(t *testing.T) {
+	db := loadDB(t, LayoutSimple, sampleABox)
+	u := query.UCQ{Disjuncts: []query.CQ{query.MustParseCQ("q(x) <- Researcher(x)")}}
+	plan := PlanUCQ(u, db, ProfilePostgres())
+	if got := ExecUCQParallel(plan, db, 8); len(got.Rows) != 2 {
+		t.Errorf("single-arm parallel = %d rows", len(got.Rows))
+	}
+}

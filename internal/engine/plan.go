@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// StepAccess identifies the physical access path of a plan step.
+type StepAccess int
+
+const (
+	// AccessConceptScan reads a whole concept table.
+	AccessConceptScan StepAccess = iota
+	// AccessConceptProbe checks membership of a bound term.
+	AccessConceptProbe
+	// AccessRoleScan reads a whole role table.
+	AccessRoleScan
+	// AccessRoleFwd expands a bound subject through the forward index.
+	AccessRoleFwd
+	// AccessRoleRev expands a bound object through the reverse index.
+	AccessRoleRev
+	// AccessRoleProbe checks a fully bound pair.
+	AccessRoleProbe
+)
+
+func (a StepAccess) String() string {
+	switch a {
+	case AccessConceptScan:
+		return "concept-scan"
+	case AccessConceptProbe:
+		return "concept-probe"
+	case AccessRoleScan:
+		return "role-scan"
+	case AccessRoleFwd:
+		return "index-fwd"
+	case AccessRoleRev:
+		return "index-rev"
+	default:
+		return "pair-probe"
+	}
+}
+
+// PlanStep is one pipelined step of a CQ plan: join the rows produced
+// so far with one atom, through a chosen access path.
+type PlanStep struct {
+	Atom    int
+	Access  StepAccess
+	EstIn   float64
+	EstOut  float64
+	EstCost float64
+}
+
+// CQPlan is a left-deep pipelined plan for one conjunctive query.
+type CQPlan struct {
+	Q       query.CQ
+	Steps   []PlanStep
+	EstCard float64
+	EstCost float64
+}
+
+// String renders the plan EXPLAIN-style.
+func (p CQPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CQ %s (est cost %.1f, est rows %.1f)\n", p.Q.Name, p.EstCost, p.EstCard)
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "  %-14s %-40s rows≈%-10.1f cost≈%.1f\n",
+			s.Access, p.Q.Atoms[s.Atom].String(), s.EstOut, s.EstCost)
+	}
+	return b.String()
+}
+
+// PlanCQ builds a plan for q with a greedy join-order heuristic:
+// repeatedly pick the remaining atom with the smallest estimated output
+// cardinality given the variables bound so far (index access preferred
+// automatically, since bound-variable expansions estimate far below
+// cross products).
+func PlanCQ(q query.CQ, db *DB, prof *Profile) CQPlan {
+	st := db.Stats()
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	plan := CQPlan{Q: q}
+	card := 1.0
+	cost := 0.0
+	for picked := 0; picked < n; picked++ {
+		bestIdx := -1
+		var best PlanStep
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			step := estimateStep(q.Atoms[i], bound, card, st, prof, db.Layout)
+			step.Atom = i
+			if bestIdx < 0 || step.EstOut < best.EstOut ||
+				(step.EstOut == best.EstOut && step.EstCost < best.EstCost) {
+				bestIdx = i
+				best = step
+			}
+		}
+		used[bestIdx] = true
+		for _, t := range q.Atoms[bestIdx].Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+		plan.Steps = append(plan.Steps, best)
+		card = best.EstOut
+		cost += best.EstCost
+	}
+	plan.EstCard = card
+	plan.EstCost = cost
+	return plan
+}
+
+// estimateStep estimates joining the current intermediate result (est.
+// cardinality in) with one atom, choosing the access path from which
+// arguments are bound.
+func estimateStep(a query.Atom, bound map[string]bool, in float64, st *Statistics, prof *Profile, layout Layout) PlanStep {
+	isBound := func(t query.Term) bool { return t.Const || bound[t.Name] }
+	layoutF := 1.0
+	if layout == LayoutRDF {
+		layoutF = prof.RDFSlotFactor
+	}
+	ent := float64(st.TotalEntities)
+	if ent < 1 {
+		ent = 1
+	}
+	var step PlanStep
+	step.EstIn = in
+	if a.Arity() == 1 {
+		cardA := float64(st.CardConcept(a.Pred))
+		if isBound(a.Args[0]) {
+			step.Access = AccessConceptProbe
+			sel := cardA / ent
+			step.EstOut = in * sel
+			step.EstCost = in*prof.CProbe*layoutF + step.EstOut*prof.CEmit
+		} else {
+			step.Access = AccessConceptScan
+			step.EstOut = in * cardA
+			step.EstCost = in*cardA*prof.CScanTuple*layoutF + step.EstOut*prof.CEmit
+		}
+		return step
+	}
+	cardR := float64(st.CardRole(a.Pred))
+	dS := float64(st.RoleDistS[a.Pred])
+	dO := float64(st.RoleDistO[a.Pred])
+	if dS < 1 {
+		dS = 1
+	}
+	if dO < 1 {
+		dO = 1
+	}
+	sBound, oBound := isBound(a.Args[0]), isBound(a.Args[1])
+	sameVar := a.Args[0].IsVar() && a.Args[1].IsVar() && a.Args[0].Name == a.Args[1].Name
+	switch {
+	case sBound && (oBound || sameVar):
+		step.Access = AccessRoleProbe
+		sel := cardR / (dS * dO)
+		if sel > 1 {
+			sel = 1
+		}
+		step.EstOut = in * sel
+		step.EstCost = in*prof.CProbe*layoutF + step.EstOut*prof.CEmit
+	case sBound:
+		step.Access = AccessRoleFwd
+		fan := cardR / dS
+		step.EstOut = in * fan
+		step.EstCost = in*prof.CProbe*layoutF + step.EstOut*prof.CEmit
+	case oBound:
+		step.Access = AccessRoleRev
+		fan := cardR / dO
+		step.EstOut = in * fan
+		step.EstCost = in*prof.CProbe*layoutF + step.EstOut*prof.CEmit
+	default:
+		step.Access = AccessRoleScan
+		out := in * cardR
+		if sameVar {
+			// diagonal: R(x,x) keeps ~card/max(dS,dO) tuples
+			d := dS
+			if dO > d {
+				d = dO
+			}
+			out = in * cardR / d
+		}
+		step.EstOut = out
+		step.EstCost = in*cardR*prof.CScanTuple*layoutF + step.EstOut*prof.CEmit
+	}
+	return step
+}
+
+// UCQPlan is a union of CQ plans followed by DISTINCT.
+type UCQPlan struct {
+	U       query.UCQ
+	Plans   []CQPlan
+	EstCard float64
+	EstCost float64
+	// Sampled reports whether the profile estimated this union from a
+	// sample of its arms (the Postgres shortcut).
+	Sampled bool
+}
+
+// PlanUCQ plans every disjunct and aggregates cost. When the profile
+// samples (#arms > SampleThreshold), only SampleSize arms are planned
+// for ESTIMATION and the rest are extrapolated — exactly the behaviour
+// that misleads GDL/RDBMS on Q9–Q11 in the paper. Execution still runs
+// all arms (plans for unsampled arms are built on demand at exec time).
+func PlanUCQ(u query.UCQ, db *DB, prof *Profile) UCQPlan {
+	up := UCQPlan{U: u}
+	n := len(u.Disjuncts)
+	sample := n
+	if prof.SampleThreshold > 0 && n > prof.SampleThreshold {
+		sample = prof.SampleSize
+		up.Sampled = true
+	}
+	var costSum, cardSum float64
+	for i := 0; i < n; i++ {
+		p := PlanCQ(u.Disjuncts[i], db, prof)
+		up.Plans = append(up.Plans, p)
+		if i < sample {
+			costSum += p.EstCost
+			cardSum += p.EstCard
+		}
+	}
+	if up.Sampled {
+		scale := float64(n) / float64(sample)
+		costSum *= scale
+		cardSum *= scale
+	}
+	up.EstCard = cardSum // union upper bound; DISTINCT may shrink it
+	up.EstCost = costSum + cardSum*prof.CDedup
+	return up
+}
+
+// JUCQPlan materializes each fragment UCQ, then joins them.
+type JUCQPlan struct {
+	J       query.JUCQ
+	Frags   []UCQPlan
+	EstCard float64
+	EstCost float64
+}
+
+// PlanJUCQ plans the paper's WITH-based evaluation shape (Section 3):
+// every fragment reformulation is materialized with DISTINCT; joining
+// the materialized results is left to hash joins ordered by size.
+func PlanJUCQ(j query.JUCQ, db *DB, prof *Profile) JUCQPlan {
+	jp := JUCQPlan{J: j}
+	cost := 0.0
+	for _, sub := range j.Subs {
+		up := PlanUCQ(sub, db, prof)
+		jp.Frags = append(jp.Frags, up)
+		cost += up.EstCost + up.EstCard*prof.CMat
+	}
+	// Join cost: linear in the inputs (hash join), pairwise smallest
+	// first; output estimated with the independence assumption.
+	card := 1.0
+	for _, f := range jp.Frags {
+		card *= maxf(f.EstCard, 1)
+	}
+	// crude containment: overall output cannot exceed the smallest input
+	for _, f := range jp.Frags {
+		if f.EstCard > 0 && f.EstCard < card {
+			card = f.EstCard
+		}
+	}
+	for _, f := range jp.Frags {
+		cost += f.EstCard * prof.CProbe
+	}
+	cost += card * prof.CEmit
+	jp.EstCard = card
+	jp.EstCost = cost
+	return jp
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the JUCQ plan EXPLAIN-style.
+func (p JUCQPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "JUCQ %s (est cost %.1f, est rows %.1f)\n", p.J.Name, p.EstCost, p.EstCard)
+	for i, f := range p.Frags {
+		fmt.Fprintf(&b, " WITH f%d AS union of %d CQs (est cost %.1f, est rows %.1f, sampled=%v)\n",
+			i+1, len(f.Plans), f.EstCost, f.EstCard, f.Sampled)
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// SCQPlan orders the blocks of a semi-conjunctive query. Each step
+// unions the alternative atoms of one block — the factorized evaluation
+// that makes USCQs cheaper than expanded UCQs [33].
+type SCQPlan struct {
+	S       query.SCQ
+	Order   []int
+	EstCard float64
+	EstCost float64
+}
+
+// PlanSCQ greedily orders blocks by estimated output cardinality, with
+// a block's estimate being the sum over its alternative atoms.
+func PlanSCQ(s query.SCQ, db *DB, prof *Profile) SCQPlan {
+	st := db.Stats()
+	n := len(s.Blocks)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	plan := SCQPlan{S: s}
+	card, cost := 1.0, 0.0
+	for picked := 0; picked < n; picked++ {
+		best := -1
+		var bestOut, bestCost float64
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			var outSum, costSum float64
+			for _, a := range s.Blocks[i] {
+				step := estimateStep(a, bound, card, st, prof, db.Layout)
+				outSum += step.EstOut
+				costSum += step.EstCost
+			}
+			if best < 0 || outSum < bestOut {
+				best, bestOut, bestCost = i, outSum, costSum
+			}
+		}
+		used[best] = true
+		for _, a := range s.Blocks[best] {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[t.Name] = true
+				}
+			}
+		}
+		plan.Order = append(plan.Order, best)
+		card = bestOut
+		cost += bestCost
+	}
+	plan.EstCard = card
+	plan.EstCost = cost
+	return plan
+}
+
+// ExecSCQ evaluates a planned SCQ.
+func ExecSCQ(plan SCQPlan, db *DB) *Relation {
+	s := plan.S
+	colOf := map[string]int{}
+	var cols []string
+	for _, block := range s.Blocks {
+		for _, a := range block {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					if _, ok := colOf[t.Name]; !ok {
+						colOf[t.Name] = len(cols)
+						cols = append(cols, t.Name)
+					}
+				}
+			}
+		}
+	}
+	rows := [][]int64{make([]int64, len(cols))}
+	bound := make([]bool, len(cols))
+	for _, bi := range plan.Order {
+		var next [][]int64
+		for _, a := range s.Blocks[bi] {
+			next = append(next, execStep(a, rows, colOf, bound, db)...)
+		}
+		for _, a := range s.Blocks[bi] {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[colOf[t.Name]] = true
+				}
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			break
+		}
+	}
+	out := &Relation{Schema: headSchema(s.Head)}
+	for _, row := range rows {
+		pr := make([]int64, len(s.Head))
+		ok := true
+		for i, h := range s.Head {
+			if h.Const {
+				id, found := db.Dict.Lookup(h.Name)
+				if !found {
+					ok = false
+					break
+				}
+				pr[i] = id
+			} else {
+				pr[i] = row[colOf[h.Name]]
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, pr)
+		}
+	}
+	return out
+}
+
+// USCQPlan is a union of SCQ plans with DISTINCT.
+type USCQPlan struct {
+	U       query.USCQ
+	Plans   []SCQPlan
+	EstCard float64
+	EstCost float64
+}
+
+// PlanUSCQ plans every SCQ disjunct.
+func PlanUSCQ(u query.USCQ, db *DB, prof *Profile) USCQPlan {
+	up := USCQPlan{U: u}
+	for _, s := range u.Disjuncts {
+		p := PlanSCQ(s, db, prof)
+		up.Plans = append(up.Plans, p)
+		up.EstCard += p.EstCard
+		up.EstCost += p.EstCost
+	}
+	up.EstCost += up.EstCard * prof.CDedup
+	return up
+}
+
+// ExecUSCQ evaluates a planned USCQ with DISTINCT.
+func ExecUSCQ(plan USCQPlan, db *DB) *Relation {
+	var out *Relation
+	for i := range plan.Plans {
+		r := ExecSCQ(plan.Plans[i], db)
+		if out == nil {
+			out = &Relation{Schema: r.Schema}
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	if out == nil {
+		out = &Relation{}
+	}
+	out.Distinct()
+	return out
+}
+
+// JUSCQPlan materializes USCQ fragments and joins them.
+type JUSCQPlan struct {
+	J       query.JUSCQ
+	Frags   []USCQPlan
+	EstCard float64
+	EstCost float64
+}
+
+// PlanJUSCQ mirrors PlanJUCQ for the USCQ dialect.
+func PlanJUSCQ(j query.JUSCQ, db *DB, prof *Profile) JUSCQPlan {
+	jp := JUSCQPlan{J: j}
+	cost := 0.0
+	for _, sub := range j.Subs {
+		up := PlanUSCQ(sub, db, prof)
+		jp.Frags = append(jp.Frags, up)
+		cost += up.EstCost + up.EstCard*prof.CMat
+	}
+	card := 1.0
+	for _, f := range jp.Frags {
+		card *= maxf(f.EstCard, 1)
+	}
+	for _, f := range jp.Frags {
+		if f.EstCard > 0 && f.EstCard < card {
+			card = f.EstCard
+		}
+		cost += f.EstCard * prof.CProbe
+	}
+	cost += card * prof.CEmit
+	jp.EstCard = card
+	jp.EstCost = cost
+	return jp
+}
+
+// ExecJUSCQ evaluates a planned JUSCQ.
+func ExecJUSCQ(plan JUSCQPlan, db *DB) *Relation {
+	frags := make([]*Relation, len(plan.Frags))
+	for i := range plan.Frags {
+		frags[i] = ExecUSCQ(plan.Frags[i], db)
+	}
+	sort.SliceStable(frags, func(i, j int) bool { return len(frags[i].Rows) < len(frags[j].Rows) })
+	cur := frags[0]
+	for _, f := range frags[1:] {
+		cur = HashJoin(cur, f)
+		if len(cur.Rows) == 0 {
+			break
+		}
+	}
+	return projectRelation(cur, plan.J.Head, db)
+}
+
+// EvaluateUSCQ plans and runs a USCQ.
+func EvaluateUSCQ(u query.USCQ, db *DB, prof *Profile) Answer {
+	p := PlanUSCQ(u, db, prof)
+	r := ExecUSCQ(p, db)
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// EvaluateJUSCQ plans and runs a JUSCQ.
+func EvaluateJUSCQ(j query.JUSCQ, db *DB, prof *Profile) Answer {
+	p := PlanJUSCQ(j, db, prof)
+	r := ExecJUSCQ(p, db)
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}

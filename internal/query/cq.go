@@ -1,0 +1,221 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CQ is a conjunctive query q(x̄) ← a1 ∧ … ∧ an. Head terms are the
+// distinguished (free) variables x̄; all other variables are existential.
+// Constants may not appear in the head.
+type CQ struct {
+	Name  string // optional query name, used in diagnostics only
+	Head  []Term
+	Atoms []Atom
+}
+
+// NewCQ builds a CQ, validating that head terms are variables occurring
+// in the body.
+func NewCQ(name string, head []Term, atoms []Atom) (CQ, error) {
+	q := CQ{Name: name, Head: head, Atoms: atoms}
+	for _, h := range head {
+		if h.Const {
+			return CQ{}, fmt.Errorf("query %s: head term %s is a constant", name, h)
+		}
+		if !q.bodyHasVar(h.Name) {
+			return CQ{}, fmt.Errorf("query %s: head variable %s does not occur in the body", name, h)
+		}
+	}
+	return q, nil
+}
+
+// MustCQ is NewCQ for statically known queries; it panics on invalid input.
+func MustCQ(name string, head []Term, atoms []Atom) CQ {
+	q, err := NewCQ(name, head, atoms)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q CQ) bodyHasVar(name string) bool {
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && t.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HeadVarSet returns the set of head variable names.
+func (q CQ) HeadVarSet() map[string]bool {
+	m := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		m[h.Name] = true
+	}
+	return m
+}
+
+// IsHeadVar reports whether name is a head variable of q.
+func (q CQ) IsHeadVar(name string) bool {
+	for _, h := range q.Head {
+		if h.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// VarOccurrences counts, per variable name, the number of occurrences in
+// the body of q.
+func (q CQ) VarOccurrences() map[string]int {
+	m := make(map[string]int)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				m[t.Name]++
+			}
+		}
+	}
+	return m
+}
+
+// IsUnbound reports whether variable name is "unbound" in the sense of
+// the PerfectRef algorithm: it occurs exactly once in the body and is
+// not a head variable.
+func (q CQ) IsUnbound(name string) bool {
+	if q.IsHeadVar(name) {
+		return false
+	}
+	return q.VarOccurrences()[name] == 1
+}
+
+// Subst returns a copy of q with the substitution applied to head and
+// body. The head may acquire repeated variables but never constants in
+// reformulation use (PerfectRef never binds a head variable to a
+// constant unless the query mentions that constant, which is legal).
+func (q CQ) Subst(s Substitution) CQ {
+	head := make([]Term, len(q.Head))
+	for i, h := range q.Head {
+		head[i] = s.Apply(h)
+	}
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Subst(s)
+	}
+	return CQ{Name: q.Name, Head: head, Atoms: atoms}
+}
+
+// Clone returns a deep copy of q.
+func (q CQ) Clone() CQ {
+	head := make([]Term, len(q.Head))
+	copy(head, q.Head)
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := make([]Term, len(a.Args))
+		copy(args, a.Args)
+		atoms[i] = Atom{Pred: a.Pred, Args: args}
+	}
+	return CQ{Name: q.Name, Head: head, Atoms: atoms}
+}
+
+// DedupAtoms removes exact duplicate atoms from the body, preserving
+// order of first occurrence.
+func (q CQ) DedupAtoms() CQ {
+	seen := make(map[string]bool, len(q.Atoms))
+	out := q.Atoms[:0:0]
+	for _, a := range q.Atoms {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	q.Atoms = out
+	return q
+}
+
+// Vars returns the distinct variable names of the body in order of first
+// occurrence.
+func (q CQ) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+// Preds returns the distinct predicate names used in the body, sorted.
+func (q CQ) Preds() []string {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		seen[a.Pred] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsConnected reports whether the join graph of the body (atoms as
+// nodes, shared variables as edges) is connected. The paper considers
+// only connected queries (no cartesian products).
+func (q CQ) IsConnected() bool {
+	n := len(q.Atoms)
+	if n <= 1 {
+		return true
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < n; j++ {
+			if !visited[j] && q.Atoms[i].SharesVar(q.Atoms[j]) {
+				visited[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == n
+}
+
+// String renders the CQ in the paper's notation, e.g.
+// "q(x) ← PhDStudent(x) ∧ worksWith(y, x)".
+func (q CQ) String() string {
+	var b strings.Builder
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+	b.WriteString(name)
+	b.WriteByte('(')
+	for i, h := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(h.String())
+	}
+	b.WriteString(") ← ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseCQ parses a conjunctive query from a compact text syntax:
+//
+//	q(x) <- PhDStudent(x), worksWith(y, x)
+//	q2(x,y) <- teachesTo(v,x), supervisedBy(x,w), teachesTo(v,y)
+//
+// Identifiers starting with a lowercase letter or '_' are variables;
+// identifiers starting with an uppercase letter inside quotes, or any
+// token wrapped in single/double quotes, are constants. Bare uppercase
+// arguments are also constants ONLY when quoted; following the paper's
+// convention, unquoted arguments are variables regardless of case, so
+// predicates like worksWith(Ioana, Francois) in tests must quote the
+// individuals: worksWith('Ioana','Francois').
+func ParseCQ(s string) (CQ, error) {
+	p := &parser{in: s}
+	q, err := p.parseCQ()
+	if err != nil {
+		return CQ{}, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return q, nil
+}
+
+// MustParseCQ parses a CQ and panics on error (for tests and fixtures).
+func MustParseCQ(s string) CQ {
+	q, err := ParseCQ(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) parseCQ() (CQ, error) {
+	name, err := p.ident()
+	if err != nil {
+		return CQ{}, err
+	}
+	head, err := p.termList()
+	if err != nil {
+		return CQ{}, err
+	}
+	p.ws()
+	if !p.literal("<-") && !p.literal("←") {
+		return CQ{}, p.errf("expected '<-'")
+	}
+	var atoms []Atom
+	for {
+		p.ws()
+		pred, err := p.ident()
+		if err != nil {
+			return CQ{}, err
+		}
+		args, err := p.termList()
+		if err != nil {
+			return CQ{}, err
+		}
+		if len(args) < 1 || len(args) > 2 {
+			return CQ{}, p.errf("atom %s has arity %d; want 1 or 2", pred, len(args))
+		}
+		atoms = append(atoms, Atom{Pred: pred, Args: args})
+		p.ws()
+		if !p.literal(",") && !p.literal("∧") {
+			break
+		}
+	}
+	p.ws()
+	if p.pos != len(p.in) {
+		return CQ{}, p.errf("trailing input")
+	}
+	return NewCQ(name, head, atoms)
+}
+
+func (p *parser) termList() ([]Term, error) {
+	p.ws()
+	if !p.literal("(") {
+		return nil, p.errf("expected '('")
+	}
+	var out []Term
+	for {
+		p.ws()
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		p.ws()
+		if p.literal(",") {
+			continue
+		}
+		if p.literal(")") {
+			return out, nil
+		}
+		return nil, p.errf("expected ',' or ')'")
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	if p.pos < len(p.in) && (p.in[p.pos] == '\'' || p.in[p.pos] == '"') {
+		quote := p.in[p.pos]
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) && p.in[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos == len(p.in) {
+			return Term{}, p.errf("unterminated constant")
+		}
+		val := p.in[start:p.pos]
+		p.pos++
+		return Cst(val), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	return Var(name), nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.in) {
+		r := rune(p.in[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) literal(lit string) bool {
+	if strings.HasPrefix(p.in[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,107 @@
+package reformulate
+
+import (
+	"testing"
+
+	"repro/internal/dllite"
+	"repro/internal/query"
+)
+
+func TestContainedUnderTBox(t *testing.T) {
+	tb := dllite.MustParseTBox(`
+PhDStudent <= Student
+Student <= Person
+role: advisedBy <= supervisedBy
+`)
+	r := New(tb)
+	cases := []struct {
+		q1, q2 string
+		want   bool
+	}{
+		// Subclass: asking for PhD students is contained in asking for persons.
+		{"q(x) <- PhDStudent(x)", "q(x) <- Person(x)", true},
+		{"q(x) <- Person(x)", "q(x) <- PhDStudent(x)", false},
+		// Subrole.
+		{"q(x, y) <- advisedBy(x, y)", "q(x, y) <- supervisedBy(x, y)", true},
+		{"q(x, y) <- supervisedBy(x, y)", "q(x, y) <- advisedBy(x, y)", false},
+		// Conjunction weakening.
+		{"q(x) <- PhDStudent(x), advisedBy(x, y)", "q(x) <- Student(x)", true},
+		// Plain equivalence is still detected.
+		{"q(x) <- Student(x), Student(x)", "q(x) <- Student(x)", true},
+	}
+	for _, c := range cases {
+		got, err := ContainedUnderTBox(query.MustParseCQ(c.q1), query.MustParseCQ(c.q2), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s ⊑_T %s: got %v, want %v", c.q1, c.q2, got, c.want)
+		}
+	}
+}
+
+func TestEquivalentUnderTBox(t *testing.T) {
+	// A ≡_T B when A ⊑ B and B ⊑ A.
+	tb := dllite.MustParseTBox("A <= B\nB <= A")
+	r := New(tb)
+	eq, err := EquivalentUnderTBox(
+		query.MustParseCQ("q(x) <- A(x)"),
+		query.MustParseCQ("q(x) <- B(x)"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("A and B are equivalent under the cyclic TBox")
+	}
+	neq, err := EquivalentUnderTBox(
+		query.MustParseCQ("q(x) <- A(x)"),
+		query.MustParseCQ("q(x) <- C(x)"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neq {
+		t.Error("A and C are unrelated")
+	}
+}
+
+func TestReformulateMinimalPaperExample(t *testing.T) {
+	tb := dllite.MustParseTBox(paperTBox)
+	r := New(tb)
+	q := query.MustParseCQ("q(x) <- PhDStudent(x), worksWith(y, x)")
+	m, err := r.ReformulateMinimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Disjuncts) != 4 {
+		t.Fatalf("minimal UCQ has %d disjuncts, want 4 (§2.3)", len(m.Disjuncts))
+	}
+	// Memoized on second call.
+	m2, err := r.ReformulateMinimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Disjuncts) != 4 {
+		t.Fatal("memoized minimal reformulation differs")
+	}
+}
+
+func TestMinimalEquivalentToFull(t *testing.T) {
+	// The minimal UCQ answers exactly like the full one.
+	tb := dllite.MustParseTBox(paperTBox)
+	r := New(tb)
+	q := query.MustParseCQ("q(x) <- PhDStudent(x), worksWith(y, x)")
+	full := r.MustReformulate(q)
+	min, err := r.ReformulateMinimal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := dllite.MustParseABox(`
+worksWith(Ioana, Francois)
+supervisedBy(Damian, Ioana)
+PhDStudent(Alice)
+worksWith(Bob, Alice)
+`)
+	if got, want := evalUCQ(min, ab), evalUCQ(full, ab); len(got) != len(want) {
+		t.Fatalf("minimal answers %v differ from full %v", got, want)
+	}
+}

@@ -1,0 +1,256 @@
+// Package search implements the cost-based cover search algorithms of
+// Section 5.3: EDL (exhaustive over Lq and Gq) and GDL (greedy,
+// Algorithm 1), including the time-limited GDL variant of Section 6.4.
+// Both are parameterized by a cost estimator — either the engine
+// profiles' explain-style estimation ("RDBMS") or the external model of
+// package cost ("ext").
+package search
+
+import (
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/reformulate"
+)
+
+// Estimator scores a candidate JUCQ reformulation.
+type Estimator interface {
+	Name() string
+	EstimateJUCQ(j query.JUCQ) float64
+}
+
+// RDBMSEstimator uses the engine's per-profile plan costing — the
+// paper's "explain through JDBC" option.
+type RDBMSEstimator struct {
+	DB      *engine.DB
+	Profile *engine.Profile
+}
+
+// Name identifies the estimator in reports.
+func (e *RDBMSEstimator) Name() string { return "RDBMS(" + e.Profile.Name + ")" }
+
+// EstimateJUCQ plans the JUCQ under the profile and returns its cost.
+func (e *RDBMSEstimator) EstimateJUCQ(j query.JUCQ) float64 {
+	return engine.PlanJUCQ(j, e.DB, e.Profile).EstCost
+}
+
+// ExtEstimator uses the external cost model (package cost).
+type ExtEstimator struct {
+	Model *cost.Model
+}
+
+// Name identifies the estimator in reports.
+func (e *ExtEstimator) Name() string { return "ext" }
+
+// EstimateJUCQ applies the textbook formulas.
+func (e *ExtEstimator) EstimateJUCQ(j query.JUCQ) float64 {
+	return e.Model.JUCQ(j).Cost
+}
+
+// Result is the outcome of a cover search.
+type Result struct {
+	Cover   cover.Cover
+	JUCQ    query.JUCQ
+	Cost    float64
+	Err     error
+	Elapsed time.Duration
+
+	// ExploredLq / ExploredGq count the distinct covers whose cost was
+	// estimated, split into simple (∈ Lq) and generalized — the
+	// quantities reported in Table 6.
+	ExploredLq int
+	ExploredGq int
+	// Moves is the number of greedy moves applied (GDL only).
+	Moves int
+}
+
+// Options tune the search.
+type Options struct {
+	// TimeLimit stops GDL after the given duration (0 = none): the
+	// time-limited GDL of Section 6.4.
+	TimeLimit time.Duration
+	// MaxCovers caps EDL enumeration (the paper stops A6 at 20003
+	// generalized covers). 0 = unlimited.
+	MaxCovers int
+}
+
+// evaluator memoizes cover cost estimates within one search.
+type evaluator struct {
+	ref   *reformulate.Reformulator
+	est   Estimator
+	seen  map[string]float64
+	jucqs map[string]query.JUCQ
+	lq    int
+	gq    int
+	err   error
+}
+
+func newEvaluator(ref *reformulate.Reformulator, est Estimator) *evaluator {
+	return &evaluator{ref: ref, est: est, seen: make(map[string]float64), jucqs: make(map[string]query.JUCQ)}
+}
+
+// estimate returns the cover's cost, reformulating its fragments if the
+// cover has not been seen before.
+func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
+	key := c.Key()
+	if v, ok := ev.seen[key]; ok {
+		return v, true
+	}
+	j, err := c.ReformulateJUCQ(ev.ref)
+	if err != nil {
+		ev.err = err
+		return 0, false
+	}
+	v := ev.est.EstimateJUCQ(j)
+	ev.seen[key] = v
+	ev.jucqs[key] = j
+	if c.IsGeneralized() {
+		ev.gq++
+	} else {
+		ev.lq++
+	}
+	return v, true
+}
+
+// GDL runs the greedy cover search of Algorithm 1: starting from Croot,
+// repeatedly apply the best cost-improving move among unioning two
+// fragments and enlarging a fragment with a connected atom; stop when
+// no move improves the current cover (or the time limit strikes).
+func GDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimator, opts Options) Result {
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	ev := newEvaluator(ref, est)
+	cur := cover.RootCover(q, t)
+	curCost, ok := ev.estimate(cur)
+	if !ok {
+		return Result{Err: ev.err, Elapsed: time.Since(start)}
+	}
+	moves := 0
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		bestCover := cover.Cover{}
+		bestCost := curCost
+		found := false
+		consider := func(c cover.Cover) bool {
+			v, ok := ev.estimate(c)
+			if !ok {
+				return false
+			}
+			// Algorithm 1 keeps a move when it is at least as good as
+			// the current cover and better than the best move so far.
+			if (!found && v <= curCost) || (found && v < bestCost) {
+				bestCover = c
+				bestCost = v
+				found = true
+			}
+			return true
+		}
+		// Union moves.
+		for i := 0; i < len(cur.Frags); i++ {
+			for j := i + 1; j < len(cur.Frags); j++ {
+				if !consider(cur.UnionFragments(i, j)) {
+					return Result{Err: ev.err, Elapsed: time.Since(start)}
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					goto done
+				}
+			}
+		}
+		// Enlarge moves: add a connected atom to a fragment's F-part.
+		for i := 0; i < len(cur.Frags); i++ {
+			for a := 0; a < len(q.Atoms); a++ {
+				c, applies := cur.EnlargeFragment(i, a)
+				if !applies {
+					continue
+				}
+				// The atom must share a variable with the fragment
+				// (Algorithm 1, line 5) and keep the cover valid.
+				if !fragmentConnectedTo(cur, i, a) || c.Validate() != nil {
+					continue
+				}
+				if !consider(c) {
+					return Result{Err: ev.err, Elapsed: time.Since(start)}
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					goto done
+				}
+			}
+		}
+		if !found {
+			// Algorithm 1 stops when no candidate move has estimated
+			// cost ≤ the current cover's. Equal-cost moves are taken;
+			// termination is guaranteed because unions strictly reduce
+			// the fragment count and enlargements strictly grow the
+			// fragments.
+			break
+		}
+		cur = bestCover
+		curCost = bestCost
+		moves++
+	}
+done:
+	key := cur.Key()
+	return Result{
+		Cover:      cur,
+		JUCQ:       ev.jucqs[key],
+		Cost:       curCost,
+		Elapsed:    time.Since(start),
+		ExploredLq: ev.lq,
+		ExploredGq: ev.gq,
+		Moves:      moves,
+	}
+}
+
+// fragmentConnectedTo reports whether atom a shares a variable with
+// fragment i's F-part.
+func fragmentConnectedTo(c cover.Cover, i, a int) bool {
+	f := c.Frags[i].F
+	for k := 0; k < len(c.Q.Atoms); k++ {
+		if f&(1<<uint(k)) != 0 && c.Q.Atoms[k].SharesVar(c.Q.Atoms[a]) {
+			return true
+		}
+	}
+	return false
+}
+
+// EDL exhaustively searches Lq and Gq (Section 5.3), up to
+// opts.MaxCovers covers, returning the cheapest cover found. As the
+// paper observes (Table 6), this is only feasible for small queries.
+func EDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimator, opts Options) Result {
+	start := time.Now()
+	ev := newEvaluator(ref, est)
+	var best cover.Cover
+	bestCost := -1.0
+	cover.EnumerateGeneralizedCovers(q, t, opts.MaxCovers, func(c cover.Cover) bool {
+		v, ok := ev.estimate(c)
+		if !ok {
+			return false
+		}
+		if bestCost < 0 || v < bestCost {
+			best = c
+			bestCost = v
+		}
+		return true
+	})
+	if ev.err != nil {
+		return Result{Err: ev.err, Elapsed: time.Since(start)}
+	}
+	key := best.Key()
+	return Result{
+		Cover:      best,
+		JUCQ:       ev.jucqs[key],
+		Cost:       bestCost,
+		Elapsed:    time.Since(start),
+		ExploredLq: ev.lq,
+		ExploredGq: ev.gq,
+	}
+}

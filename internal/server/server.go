@@ -1,0 +1,178 @@
+// Package server exposes an Answerer over a small JSON-HTTP API — the
+// shape OBDA deployments take in practice (the paper's motivation cites
+// national-scale medical-records services). Endpoints:
+//
+//	POST /query        {"query": "q(x) <- A(x)", "strategy": "gdl-ext"}
+//	GET  /consistency  T-consistency report
+//	GET  /stats        database statistics
+//	GET  /strategies   supported strategies
+//
+// The handler is a plain http.Handler, wired by cmd/obdaserver and
+// tested with httptest.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Server handles OBDA requests over one Answerer. The Answerer's
+// Reformulator memoizes across requests; a mutex serializes query
+// answering since the Reformulator is not concurrency-safe.
+type Server struct {
+	A   *core.Answerer
+	mux *http.ServeMux
+	sem chan struct{}
+}
+
+// New builds the HTTP server around an Answerer.
+func New(a *core.Answerer) *Server {
+	s := &Server{A: a, mux: http.NewServeMux(), sem: make(chan struct{}, 1)}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /consistency", s.handleConsistency)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the POST /query payload.
+type QueryRequest struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy,omitempty"` // default gdl-ext
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	Answers   [][]string `json:"answers"`
+	Strategy  string     `json:"strategy"`
+	Fragments int        `json:"fragments"`
+	Disjuncts int        `json:"disjuncts"`
+	SQLBytes  int        `json:"sqlBytes"`
+	SearchMs  float64    `json:"searchMs"`
+	EvalMs    float64    `json:"evalMs"`
+	Cover     string     `json:"cover"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	q, err := query.ParseCQ(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	strategy := core.Strategy(req.Strategy)
+	if req.Strategy == "" {
+		strategy = core.StrategyGDLExt
+	}
+	s.sem <- struct{}{}
+	res, err := s.A.Answer(q, strategy)
+	<-s.sem
+	if err != nil {
+		var tooLong *engine.StatementTooLongError
+		if errors.As(err, &tooLong) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, QueryResponse{
+		Answers:   res.Tuples,
+		Strategy:  string(res.Strategy),
+		Fragments: res.NumFragments,
+		Disjuncts: res.NumDisjuncts,
+		SQLBytes:  res.SQLSize,
+		SearchMs:  ms(res.SearchTime),
+		EvalMs:    ms(res.EvalTime),
+		Cover:     res.Cover.String(),
+	})
+}
+
+// ConsistencyResponse reports T-consistency.
+type ConsistencyResponse struct {
+	Consistent bool     `json:"consistent"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	s.sem <- struct{}{}
+	violations, err := s.A.CheckConsistency()
+	<-s.sem
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ConsistencyResponse{Consistent: len(violations) == 0}
+	for _, v := range violations {
+		resp.Violations = append(resp.Violations,
+			v.Axiom.String()+" violated by "+joinWitness(v.Witness))
+	}
+	writeJSON(w, resp)
+}
+
+func joinWitness(w []string) string {
+	out := ""
+	for i, s := range w {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// StatsResponse summarizes the loaded database.
+type StatsResponse struct {
+	Facts    int    `json:"facts"`
+	Entities int    `json:"entities"`
+	Concepts int    `json:"concepts"`
+	Roles    int    `json:"roles"`
+	Layout   string `json:"layout"`
+	Profile  string `json:"profile"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.A.DB.Stats()
+	writeJSON(w, StatsResponse{
+		Facts:    st.TotalFacts,
+		Entities: st.TotalEntities,
+		Concepts: len(st.ConceptCard),
+		Roles:    len(st.RoleCard),
+		Layout:   s.A.DB.Layout.String(),
+		Profile:  s.A.Profile.Name,
+	})
+}
+
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	out := make([]string, 0, len(core.Strategies()))
+	for _, st := range core.Strategies() {
+		out = append(out, string(st))
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tb := dllite.MustParseTBox(`
+PhDStudent <= Researcher
+role: supervisedBy <= worksWith
+exists supervisedBy <= PhDStudent
+worksWith <= worksWith-
+PhDStudent <= not exists supervisedBy-
+`)
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox(`
+worksWith(Ioana, Francois)
+supervisedBy(Damian, Ioana)
+`))
+	srv := httptest.NewServer(New(core.New(tb, db, engine.ProfilePostgres())))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postQuery(t *testing.T, srv *httptest.Server, body string) (*http.Response, QueryResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postQuery(t, srv,
+		`{"query": "q(x) <- PhDStudent(x), worksWith(y, x)", "strategy": "ucq"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Answers) != 1 || out.Answers[0][0] != "Damian" {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+	if out.Disjuncts == 0 || out.SQLBytes == 0 {
+		t.Errorf("stats missing: %+v", out)
+	}
+}
+
+func TestDefaultStrategy(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postQuery(t, srv, `{"query": "q(x) <- Researcher(x)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Strategy != string(core.StrategyGDLExt) {
+		t.Errorf("default strategy = %s", out.Strategy)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{"query": "broken(("}`,
+		`{"query": "q(x) <- A(x)", "strategy": "bogus"}`,
+	} {
+		resp, _ := postQuery(t, srv, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestConsistencyEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/consistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ConsistencyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Consistent {
+		t.Errorf("KB should be consistent: %+v", out)
+	}
+}
+
+func TestConsistencyViolationReported(t *testing.T) {
+	tb := dllite.MustParseTBox("A <= not B")
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox("A(x)\nB(x)"))
+	srv := httptest.NewServer(New(core.New(tb, db, engine.ProfilePostgres())))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/consistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ConsistencyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Consistent || len(out.Violations) != 1 {
+		t.Errorf("violation not reported: %+v", out)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Facts != 2 || out.Roles != 2 {
+		t.Errorf("stats = %+v", out)
+	}
+	if !strings.Contains(out.Layout, "Simple") {
+		t.Errorf("layout = %s", out.Layout)
+	}
+}
+
+func TestStrategiesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(core.Strategies()) {
+		t.Errorf("strategies = %v", out)
+	}
+}
+
+// TestConcurrentQueries: the server serializes answering internally;
+// concurrent clients must all succeed (the Reformulator is not
+// concurrency-safe, so this guards the semaphore).
+func TestConcurrentQueries(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/query", "application/json",
+				bytes.NewBufferString(`{"query": "q(x) <- PhDStudent(x)", "strategy": "ucq"}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestStatementTooLongStatus(t *testing.T) {
+	tb := dllite.MustParseTBox("A <= B")
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox("A(x)"))
+	prof := engine.ProfileDB2()
+	prof.MaxStatementBytes = 10
+	srv := httptest.NewServer(New(core.New(tb, db, prof)))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		bytes.NewBufferString(`{"query": "q(x) <- B(x)", "strategy": "ucq"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+}

@@ -1,0 +1,404 @@
+// Package sqlgen translates the FOL query dialects into SQL text for
+// the two physical layouts of Section 6.1. The generated text is what
+// the paper's statement-size measurements are about: simple-layout SQL
+// grows linearly with the number of union arms, while RDF-layout SQL
+// additionally multiplies every atom by a CASE over the hashed
+// predicate columns — the combination that drives DB2 past its
+// statement-length limit on Q9/Q10 (Section 6.3).
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Options control SQL rendering.
+type Options struct {
+	Layout engine.Layout
+	// Slots is the number of hashed predicate columns rendered per atom
+	// on the RDF layout; defaults to engine.DefaultRDFSlots.
+	Slots int
+	// Pretty inserts newlines/indentation (diagnostics); benchmarks use
+	// the compact form, matching how drivers ship statements.
+	Pretty bool
+}
+
+func (o Options) slots() int {
+	if o.Slots > 0 {
+		return o.Slots
+	}
+	return engine.DefaultRDFSlots
+}
+
+func (o Options) sep() string {
+	if o.Pretty {
+		return "\n"
+	}
+	return " "
+}
+
+// sanitize maps predicate names to SQL identifiers.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// CQ renders one conjunctive query as a SELECT.
+func CQ(q query.CQ, o Options) string {
+	var b strings.Builder
+	writeCQ(&b, q, o)
+	return b.String()
+}
+
+func writeCQ(b *strings.Builder, q query.CQ, o Options) {
+	sep := o.sep()
+	// FROM clause with one aliased table (or RDF subselect) per atom.
+	b.WriteString("SELECT DISTINCT ")
+	if len(q.Head) == 0 {
+		b.WriteString("1")
+	}
+	varCol := map[string]string{}
+	// First binding of each variable names its column.
+	for i, a := range q.Atoms {
+		alias := fmt.Sprintf("t%d", i)
+		for j, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := varCol[t.Name]; !ok {
+					varCol[t.Name] = alias + "." + colName(a, j)
+				}
+			}
+		}
+	}
+	for i, h := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if h.Const {
+			b.WriteString("'" + h.Name + "'")
+		} else {
+			b.WriteString(varCol[h.Name])
+		}
+		fmt.Fprintf(b, " AS h%d", i)
+	}
+	b.WriteString(sep)
+	b.WriteString("FROM ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeAtomSource(b, a, o)
+		fmt.Fprintf(b, " t%d", i)
+	}
+	// WHERE: join conditions + constants.
+	var conds []string
+	seenVar := map[string]string{}
+	for i, a := range q.Atoms {
+		alias := fmt.Sprintf("t%d", i)
+		for j, t := range a.Args {
+			col := alias + "." + colName(a, j)
+			if t.Const {
+				conds = append(conds, col+" = '"+t.Name+"'")
+				continue
+			}
+			if prev, ok := seenVar[t.Name]; ok {
+				if prev != col {
+					conds = append(conds, prev+" = "+col)
+				}
+			} else {
+				seenVar[t.Name] = col
+			}
+		}
+	}
+	if len(conds) > 0 {
+		b.WriteString(sep)
+		b.WriteString("WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+}
+
+func colName(a query.Atom, j int) string {
+	if a.Arity() == 1 {
+		return "id"
+	}
+	if j == 0 {
+		return "s"
+	}
+	return "o"
+}
+
+// writeAtomSource renders the table (simple layout) or the hashed-column
+// subselect (RDF layout) backing one atom.
+func writeAtomSource(b *strings.Builder, a query.Atom, o Options) {
+	name := sanitize(a.Pred)
+	if o.Layout == engine.LayoutSimple {
+		if a.Arity() == 1 {
+			b.WriteString("c_" + name)
+		} else {
+			b.WriteString("r_" + name)
+		}
+		return
+	}
+	// RDF layout: the DB2RDF access expands the predicate over every
+	// hashed column of the DPH table (cf. [9]); concepts go through the
+	// reserved rdf:type predicate.
+	k := o.slots()
+	b.WriteString("(SELECT entry AS ")
+	if a.Arity() == 1 {
+		b.WriteString("id FROM dph WHERE ")
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			fmt.Fprintf(b, "(pred%d = 'rdf:type' AND val%d = 'class:%s')", i, i, a.Pred)
+		}
+		b.WriteString(")")
+		return
+	}
+	b.WriteString("s, CASE ")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(b, "WHEN pred%d = '%s' THEN val%d ", i, a.Pred, i)
+	}
+	b.WriteString("END AS o FROM dph WHERE ")
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			b.WriteString(" OR ")
+		}
+		fmt.Fprintf(b, "pred%d = '%s'", i, a.Pred)
+	}
+	b.WriteString(")")
+}
+
+// UCQ renders a union of CQs.
+func UCQ(u query.UCQ, o Options) string {
+	var b strings.Builder
+	writeUCQ(&b, u, o)
+	return b.String()
+}
+
+func writeUCQ(b *strings.Builder, u query.UCQ, o Options) {
+	sep := o.sep()
+	for i, d := range u.Disjuncts {
+		if i > 0 {
+			b.WriteString(sep)
+			b.WriteString("UNION")
+			b.WriteString(sep)
+		}
+		writeCQ(b, d, o)
+	}
+}
+
+// SCQ renders a semi-conjunctive query: each block becomes an inline
+// union subselect, joined with the others.
+func SCQ(s query.SCQ, o Options) string {
+	var b strings.Builder
+	writeSCQ(&b, s, o)
+	return b.String()
+}
+
+func writeSCQ(b *strings.Builder, s query.SCQ, o Options) {
+	sep := o.sep()
+	b.WriteString("SELECT DISTINCT ")
+	if len(s.Head) == 0 {
+		b.WriteString("1")
+	}
+	varCol := map[string]string{}
+	for i, block := range s.Blocks {
+		alias := fmt.Sprintf("b%d", i)
+		a := block[0]
+		for j, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := varCol[t.Name]; !ok {
+					varCol[t.Name] = alias + "." + colName(a, j)
+				}
+			}
+		}
+	}
+	for i, h := range s.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(varCol[h.Name])
+		fmt.Fprintf(b, " AS h%d", i)
+	}
+	b.WriteString(sep)
+	b.WriteString("FROM ")
+	for i, block := range s.Blocks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for k, a := range block {
+			if k > 0 {
+				b.WriteString(" UNION ")
+			}
+			b.WriteString("SELECT ")
+			for j := range a.Args {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(colName(a, j))
+			}
+			b.WriteString(" FROM ")
+			writeAtomSource(b, a, o)
+		}
+		fmt.Fprintf(b, ") b%d", i)
+	}
+	var conds []string
+	seenVar := map[string]string{}
+	for i, block := range s.Blocks {
+		alias := fmt.Sprintf("b%d", i)
+		a := block[0]
+		for j, t := range a.Args {
+			col := alias + "." + colName(a, j)
+			if t.Const {
+				conds = append(conds, col+" = '"+t.Name+"'")
+				continue
+			}
+			if prev, ok := seenVar[t.Name]; ok {
+				if prev != col {
+					conds = append(conds, prev+" = "+col)
+				}
+			} else {
+				seenVar[t.Name] = col
+			}
+		}
+	}
+	if len(conds) > 0 {
+		b.WriteString(sep)
+		b.WriteString("WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+}
+
+// USCQ renders a union of SCQs.
+func USCQ(u query.USCQ, o Options) string {
+	var b strings.Builder
+	for i, s := range u.Disjuncts {
+		if i > 0 {
+			b.WriteString(o.sep())
+			b.WriteString("UNION")
+			b.WriteString(o.sep())
+		}
+		writeSCQ(&b, s, o)
+	}
+	return b.String()
+}
+
+// JUCQ renders the WITH-based shape of Section 3:
+//
+//	WITH f1 AS (...), ..., fn AS (...)
+//	SELECT DISTINCT x̄ FROM f1, ..., fn WHERE cond(1..n)
+func JUCQ(j query.JUCQ, o Options) string {
+	var b strings.Builder
+	sep := o.sep()
+	b.WriteString("WITH ")
+	for i, sub := range j.Subs {
+		if i > 0 {
+			b.WriteString(", ")
+			b.WriteString(sep)
+		}
+		fmt.Fprintf(&b, "f%d AS (", i+1)
+		writeUCQ(&b, sub, o)
+		b.WriteString(")")
+	}
+	b.WriteString(sep)
+	writeJoinTail(&b, j.Head, headsOf(j), o)
+	return b.String()
+}
+
+// JUSCQ renders the USCQ variant of the WITH shape.
+func JUSCQ(j query.JUSCQ, o Options) string {
+	var b strings.Builder
+	sep := o.sep()
+	b.WriteString("WITH ")
+	for i, sub := range j.Subs {
+		if i > 0 {
+			b.WriteString(", ")
+			b.WriteString(sep)
+		}
+		fmt.Fprintf(&b, "f%d AS (", i+1)
+		b.WriteString(USCQ(sub, o))
+		b.WriteString(")")
+	}
+	b.WriteString(sep)
+	var heads [][]query.Term
+	for _, sub := range j.Subs {
+		if len(sub.Disjuncts) > 0 {
+			heads = append(heads, sub.Disjuncts[0].Head)
+		} else {
+			heads = append(heads, nil)
+		}
+	}
+	writeJoinTail(&b, j.Head, heads, o)
+	return b.String()
+}
+
+func headsOf(j query.JUCQ) [][]query.Term {
+	out := make([][]query.Term, len(j.Subs))
+	for i, sub := range j.Subs {
+		out[i] = sub.Head()
+	}
+	return out
+}
+
+// writeJoinTail writes the final SELECT over the materialized fragments.
+func writeJoinTail(b *strings.Builder, head []query.Term, fragHeads [][]query.Term, o Options) {
+	sep := o.sep()
+	// Map each variable to its first fragment column.
+	varCol := map[string]string{}
+	for i, fh := range fragHeads {
+		for j, t := range fh {
+			if _, ok := varCol[t.Name]; !ok {
+				varCol[t.Name] = fmt.Sprintf("f%d.h%d", i+1, j)
+			}
+		}
+	}
+	b.WriteString("SELECT DISTINCT ")
+	if len(head) == 0 {
+		b.WriteString("1")
+	}
+	for i, h := range head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(varCol[h.Name])
+	}
+	b.WriteString(sep)
+	b.WriteString("FROM ")
+	for i := range fragHeads {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "f%d", i+1)
+	}
+	var conds []string
+	seen := map[string]string{}
+	for i, fh := range fragHeads {
+		for j, t := range fh {
+			col := fmt.Sprintf("f%d.h%d", i+1, j)
+			if prev, ok := seen[t.Name]; ok {
+				if prev != col {
+					conds = append(conds, prev+" = "+col)
+				}
+			} else {
+				seen[t.Name] = col
+			}
+		}
+	}
+	if len(conds) > 0 {
+		b.WriteString(sep)
+		b.WriteString("WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+}

@@ -1,0 +1,172 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+func TestCQSimpleLayout(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- PhDStudent(x), worksWith(y, x)")
+	sql := CQ(q, Options{Layout: engine.LayoutSimple})
+	for _, want := range []string{
+		"SELECT DISTINCT",
+		"c_PhDStudent t0",
+		"r_worksWith t1",
+		"t0.id = t1.o",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestCQConstants(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- worksWith(x, 'Francois')")
+	sql := CQ(q, Options{Layout: engine.LayoutSimple})
+	if !strings.Contains(sql, "t0.o = 'Francois'") {
+		t.Errorf("constant condition missing:\n%s", sql)
+	}
+}
+
+func TestBooleanCQ(t *testing.T) {
+	q := query.CQ{Name: "b", Atoms: []query.Atom{query.ConceptAtom("A", query.Var("x"))}}
+	sql := CQ(q, Options{Layout: engine.LayoutSimple})
+	if !strings.Contains(sql, "SELECT DISTINCT 1") {
+		t.Errorf("boolean head missing:\n%s", sql)
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	u := query.UCQ{Disjuncts: []query.CQ{
+		query.MustParseCQ("q(x) <- A(x)"),
+		query.MustParseCQ("q(x) <- B(x)"),
+	}}
+	sql := UCQ(u, Options{Layout: engine.LayoutSimple})
+	if strings.Count(sql, "UNION") != 1 {
+		t.Errorf("want exactly 1 UNION:\n%s", sql)
+	}
+}
+
+func TestRDFLayoutBlowup(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- PhDStudent(x), worksWith(y, x), supervisedBy(x, z)")
+	simple := CQ(q, Options{Layout: engine.LayoutSimple})
+	rdf := CQ(q, Options{Layout: engine.LayoutRDF})
+	if len(rdf) < 5*len(simple) {
+		t.Errorf("RDF SQL should be much longer: %d vs %d bytes", len(rdf), len(simple))
+	}
+	if !strings.Contains(rdf, "CASE WHEN pred0") {
+		t.Errorf("RDF role access must expand hashed columns:\n%s", rdf[:200])
+	}
+	if !strings.Contains(rdf, "rdf:type") {
+		t.Error("RDF concept access must go through rdf:type")
+	}
+	// Every hashed column of every role atom appears.
+	if got := strings.Count(rdf, "pred11"); got < 3 {
+		t.Errorf("expected all %d slots rendered per atom, pred11 count = %d", engine.DefaultRDFSlots, got)
+	}
+}
+
+func TestJUCQWithShape(t *testing.T) {
+	j := query.JUCQ{
+		Name: "q",
+		Head: []query.Term{query.Var("x")},
+		Subs: []query.UCQ{
+			{Disjuncts: []query.CQ{query.MustParseCQ("f1(x) <- A(x)")}},
+			{Disjuncts: []query.CQ{
+				query.MustParseCQ("f2(x, y) <- R(x, y)"),
+				query.MustParseCQ("f2(x, y) <- S(x, y)"),
+			}},
+		},
+	}
+	sql := JUCQ(j, Options{Layout: engine.LayoutSimple})
+	for _, want := range []string{
+		"WITH f1 AS (",
+		"f2 AS (",
+		"UNION",
+		"FROM f1, f2",
+		"f1.h0 = f2.h0",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestJUSCQ(t *testing.T) {
+	j := query.JUSCQ{
+		Name: "q",
+		Head: []query.Term{query.Var("x")},
+		Subs: []query.USCQ{
+			{Disjuncts: []query.SCQ{{
+				Name: "f1",
+				Head: []query.Term{query.Var("x")},
+				Blocks: [][]query.Atom{
+					{query.ConceptAtom("A", query.Var("x")), query.ConceptAtom("B", query.Var("x"))},
+				},
+			}}},
+		},
+	}
+	sql := JUSCQ(j, Options{Layout: engine.LayoutSimple})
+	if !strings.Contains(sql, "WITH f1 AS (") || !strings.Contains(sql, "UNION SELECT") {
+		t.Errorf("JUSCQ shape wrong:\n%s", sql)
+	}
+}
+
+func TestSCQFactorizedShape(t *testing.T) {
+	s := query.SCQ{
+		Name: "q",
+		Head: []query.Term{query.Var("x")},
+		Blocks: [][]query.Atom{
+			{query.ConceptAtom("A", query.Var("x")), query.ConceptAtom("B", query.Var("x"))},
+			{query.RoleAtom("R", query.Var("x"), query.Var("y"))},
+		},
+	}
+	sql := SCQ(s, Options{Layout: engine.LayoutSimple})
+	for _, want := range []string{"b0.id = b1.s", "UNION SELECT id FROM c_B"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	q := query.CQ{Name: "q", Head: []query.Term{query.Var("x")},
+		Atoms: []query.Atom{query.ConceptAtom("weird-name.x", query.Var("x"))}}
+	sql := CQ(q, Options{Layout: engine.LayoutSimple})
+	if !strings.Contains(sql, "c_weird_name_x") {
+		t.Errorf("identifier not sanitized:\n%s", sql)
+	}
+}
+
+func TestPrettyVsCompact(t *testing.T) {
+	q := query.MustParseCQ("q(x) <- A(x), R(x, y)")
+	pretty := CQ(q, Options{Layout: engine.LayoutSimple, Pretty: true})
+	compact := CQ(q, Options{Layout: engine.LayoutSimple})
+	if !strings.Contains(pretty, "\n") {
+		t.Error("pretty output should contain newlines")
+	}
+	if strings.Contains(compact, "\n") {
+		t.Error("compact output should not contain newlines")
+	}
+}
+
+// TestStatementLengthGrowsLinearly: the statement-size accounting the
+// experiments rely on — union arms add length proportionally.
+func TestStatementLengthGrowsLinearly(t *testing.T) {
+	mk := func(n int) query.UCQ {
+		u := query.UCQ{}
+		for i := 0; i < n; i++ {
+			u.Disjuncts = append(u.Disjuncts, query.MustParseCQ("q(x) <- A(x), R(x, y), B(y)"))
+		}
+		return u
+	}
+	l10 := len(UCQ(mk(10), Options{Layout: engine.LayoutSimple}))
+	l100 := len(UCQ(mk(100), Options{Layout: engine.LayoutSimple}))
+	ratio := float64(l100) / float64(l10)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("length should scale ~10x: %d -> %d (%.1fx)", l10, l100, ratio)
+	}
+}

@@ -1,0 +1,96 @@
+// Package views implements the paper's stated future-work extension
+// (Section 7): "efficient query answering using materialized CQ views,
+// which may partially or completely rewrite the CQs appearing in the
+// reformulated fragments."
+//
+// A Manager caches the materialized result of every fragment
+// reformulation it evaluates, keyed by the fragment query (head and
+// body, variable names included — JUCQ joins are name-sensitive). When
+// a later query's cover contains the same fragment — reruns of the same
+// query, or different queries sharing a star pattern like the paper's
+// A3–A6 family — the WITH clause is answered from the view instead of
+// being re-evaluated. Views are bound to one finalized database; they
+// are invalidated wholesale by Reset after updates.
+package views
+
+import (
+	"strings"
+
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/reformulate"
+)
+
+// Manager caches materialized fragment relations over one database.
+type Manager struct {
+	DB      *engine.DB
+	Profile *engine.Profile
+
+	views map[string]*engine.Relation
+
+	// Hits and Misses count cache outcomes for reporting and tests.
+	Hits, Misses int
+}
+
+// NewManager builds an empty view cache over the database.
+func NewManager(db *engine.DB, prof *engine.Profile) *Manager {
+	return &Manager{DB: db, Profile: prof, views: make(map[string]*engine.Relation)}
+}
+
+// Reset drops every cached view (call after data updates).
+func (m *Manager) Reset() {
+	m.views = make(map[string]*engine.Relation)
+	m.Hits, m.Misses = 0, 0
+}
+
+// Size returns the number of cached views.
+func (m *Manager) Size() int { return len(m.views) }
+
+// fragmentKey identifies a fragment query literally (name excluded):
+// the cached relation's schema is the fragment's head variable names,
+// so only an identical head/body pair may reuse it.
+func fragmentKey(fq query.CQ) string {
+	var b strings.Builder
+	for _, h := range fq.Head {
+		b.WriteString(h.String())
+		b.WriteByte(',')
+	}
+	b.WriteString("<-")
+	for _, a := range fq.Atoms {
+		b.WriteString(a.String())
+		b.WriteByte('&')
+	}
+	return b.String()
+}
+
+// MaterializeFragment returns the relation of one fragment query's UCQ
+// reformulation, from cache when possible.
+func (m *Manager) MaterializeFragment(fq query.CQ, u query.UCQ) *engine.Relation {
+	key := fragmentKey(fq)
+	if rel, ok := m.views[key]; ok {
+		m.Hits++
+		return rel
+	}
+	m.Misses++
+	rel := engine.ExecUCQ(engine.PlanUCQ(u, m.DB, m.Profile), m.DB)
+	m.views[key] = rel
+	return rel
+}
+
+// AnswerCover evaluates a cover-based reformulation with view reuse:
+// every fragment is materialized through the cache, then joined and
+// projected exactly as engine.ExecJUCQ would.
+func (m *Manager) AnswerCover(c cover.Cover, ref *reformulate.Reformulator) ([][]string, error) {
+	frags := make([]*engine.Relation, len(c.Frags))
+	for i := range c.Frags {
+		fq := c.FragmentQuery(i)
+		u, err := ref.Reformulate(fq)
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = m.MaterializeFragment(fq, u)
+	}
+	rel := engine.JoinAndProject(frags, c.Q.Head, m.DB)
+	return rel.Decode(m.DB.Dict), nil
+}

@@ -1,0 +1,127 @@
+package views
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/lubm"
+	"repro/internal/reformulate"
+)
+
+func setup(t *testing.T) (*dllite.TBox, *engine.DB, *reformulate.Reformulator, *Manager) {
+	t.Helper()
+	tb := lubm.TBox()
+	db := engine.NewDB(engine.LayoutSimple)
+	lubm.Generate(lubm.Config{Universities: 1, Seed: 3}, db)
+	db.Finalize()
+	return tb, db, reformulate.New(tb), NewManager(db, engine.ProfilePostgres())
+}
+
+// TestViewsMatchDirectEvaluation: answering through the view cache is
+// answer-identical to engine.ExecJUCQ for every workload query's root
+// cover.
+func TestViewsMatchDirectEvaluation(t *testing.T) {
+	tb, db, ref, mgr := setup(t)
+	for _, q := range lubm.Queries() {
+		c := cover.RootCover(q, tb)
+		viaViews, err := mgr.AnswerCover(c, ref)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		j, err := c.ReformulateJUCQ(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := engine.EvaluateJUCQ(j, db, engine.ProfilePostgres())
+		if len(viaViews) != len(direct.Tuples) {
+			t.Errorf("%s: views gave %d answers, direct gave %d", q.Name, len(viaViews), len(direct.Tuples))
+			continue
+		}
+		seen := make(map[string]bool, len(direct.Tuples))
+		for _, tu := range direct.Tuples {
+			seen[strings.Join(tu, "\x00")] = true
+		}
+		for _, tu := range viaViews {
+			if !seen[strings.Join(tu, "\x00")] {
+				t.Errorf("%s: extra tuple %v via views", q.Name, tu)
+			}
+		}
+	}
+}
+
+// TestViewReuseOnRepeat: the second run of the same cover is all hits.
+func TestViewReuseOnRepeat(t *testing.T) {
+	tb, _, ref, mgr := setup(t)
+	q := lubm.Queries()[2] // Q3
+	c := cover.RootCover(q, tb)
+	if _, err := mgr.AnswerCover(c, ref); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := mgr.Misses
+	if mgr.Hits != 0 {
+		t.Fatalf("first run must be all misses, hits=%d", mgr.Hits)
+	}
+	if _, err := mgr.AnswerCover(c, ref); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Misses != missesAfterFirst {
+		t.Errorf("second run must not miss (misses %d -> %d)", missesAfterFirst, mgr.Misses)
+	}
+	if mgr.Hits != len(c.Frags) {
+		t.Errorf("second run hits = %d, want %d", mgr.Hits, len(c.Frags))
+	}
+}
+
+// TestViewSharingAcrossStarFamily: A3 ⊂ A4 ⊂ A5 ⊂ A6 share fragment
+// queries, so answering the family in sequence reuses views — the
+// cross-query payoff the paper's future work aims at.
+func TestViewSharingAcrossStarFamily(t *testing.T) {
+	tb, _, ref, mgr := setup(t)
+	for _, q := range lubm.StarQueries() {
+		c := cover.RootCover(q, tb)
+		if _, err := mgr.AnswerCover(c, ref); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+	if mgr.Hits == 0 {
+		t.Errorf("star family shares fragments; expected cache hits, got 0 (misses=%d)", mgr.Misses)
+	}
+	// A3's three fragments recur in A4, A5, A6: ≥ 3+4+5 = at least the
+	// shared singleton fragments hit.
+	if mgr.Hits < 9 {
+		t.Errorf("hits = %d, want ≥ 9 across the A3–A6 family", mgr.Hits)
+	}
+}
+
+// TestReset drops the cache.
+func TestReset(t *testing.T) {
+	tb, _, ref, mgr := setup(t)
+	c := cover.RootCover(lubm.Queries()[0], tb)
+	if _, err := mgr.AnswerCover(c, ref); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Size() == 0 {
+		t.Fatal("views not cached")
+	}
+	mgr.Reset()
+	if mgr.Size() != 0 || mgr.Hits != 0 || mgr.Misses != 0 {
+		t.Error("reset must clear cache and counters")
+	}
+}
+
+// TestFragmentKeyNameInsensitive: fragment names don't affect reuse,
+// but variable names do.
+func TestFragmentKeyNameInsensitive(t *testing.T) {
+	q1 := lubm.Queries()[0]
+	tb := lubm.TBox()
+	c := cover.RootCover(q1, tb)
+	f := c.FragmentQuery(0)
+	g := f
+	g.Name = "renamed"
+	if fragmentKey(f) != fragmentKey(g) {
+		t.Error("query name must not affect the view key")
+	}
+}
