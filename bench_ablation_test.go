@@ -178,7 +178,8 @@ func BenchmarkAblationSQLPath(b *testing.B) {
 }
 
 // BenchmarkAblationParallelUnion sweeps worker counts for the largest
-// workload reformulation (Q9, 300 arms).
+// workload reformulation (Q9, 300 arms), through the parallel union
+// operator.
 func BenchmarkAblationParallelUnion(b *testing.B) {
 	env, _, _ := benchEnvs()
 	ref := reformulate.New(env.TBox)
@@ -187,7 +188,41 @@ func BenchmarkAblationParallelUnion(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				engine.ExecUCQParallel(plan, env.DB, workers)
+				engine.Drain(engine.CompileUCQ(plan, env.DB, nil, workers))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExecPath compares the executors on UCQ
+// reformulations: the streaming batched operator pipeline (cold =
+// compile per execution, warm = compiled tree re-executed, the serving
+// mode) against the materialize-everything reference path. Run with
+// -benchmem to see the allocation gap the streaming model exists for.
+func BenchmarkAblationExecPath(b *testing.B) {
+	env, _, _ := benchEnvs()
+	ref := reformulate.New(env.TBox)
+	for _, qi := range []int{2, 8} { // Q3 (160 arms), Q9 (300 arms)
+		q := lubm.Queries()[qi]
+		plan := engine.PlanUCQ(ref.MustReformulate(q), env.DB, env.Profile)
+		b.Run(q.Name+"/streaming-cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.ExecUCQ(plan, env.DB)
+			}
+		})
+		b.Run(q.Name+"/streaming-warm", func(b *testing.B) {
+			b.ReportAllocs()
+			op := engine.CompileUCQ(plan, env.DB, nil, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Drain(op)
+			}
+		})
+		b.Run(q.Name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.ExecUCQMaterialized(plan, env.DB)
 			}
 		})
 	}

@@ -12,6 +12,12 @@
 //	internal/reformulate  CQ-to-UCQ (PerfectRef) and CQ-to-USCQ
 //	internal/cover        covers, safe covers, Croot, Lq, Gq (Defs 1-7)
 //	internal/engine       the RDBMS substrate (two layouts, two profiles)
+//	                      with a streaming batched operator pipeline:
+//	                      plans compile to Open/Next(*Batch)/Close
+//	                      operator trees (scan, index-nested-loop join,
+//	                      filter, project, streaming distinct, and
+//	                      sequential/parallel union), with per-operator
+//	                      row counters feeding the cost model
 //	internal/sqlgen       SQL translation, statement-size accounting
 //	internal/cost         the external cost model ε (Section 6.1)
 //	internal/search       EDL and GDL (Algorithm 1), time-limited GDL

@@ -67,6 +67,14 @@ type Answerer struct {
 	// native plans — exactly what shipping the reformulation to a real
 	// RDBMS does. Only supported on the simple layout.
 	ViaSQL bool
+
+	// Workers > 1 evaluates union reformulations through the engine's
+	// parallel union operator: every fragment's union arms spread over
+	// that many worker goroutines (capped at GOMAXPROCS). Fragments of
+	// multi-fragment (WITH-style) plans are still materialized one
+	// after another. Zero or one keeps the fully sequential pipeline,
+	// matching the paper's single-threaded engines. Ignored by ViaSQL.
+	Workers int
 }
 
 // New wires an Answerer for the given TBox, database, and profile.
@@ -186,9 +194,9 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 	var ans engine.Answer
 	if len(j.Subs) == 1 {
 		// Single fragment: evaluate the UCQ directly (no WITH needed).
-		ans = engine.EvaluateUCQ(j.Subs[0], a.DB, a.Profile)
+		ans = engine.EvaluateUCQParallel(j.Subs[0], a.DB, a.Profile, a.Workers)
 	} else {
-		ans = engine.EvaluateJUCQ(j, a.DB, a.Profile)
+		ans = engine.EvaluateJUCQParallel(j, a.DB, a.Profile, a.Workers)
 	}
 	res.EvalTime = time.Since(start)
 	res.Tuples = ans.Tuples
@@ -213,9 +221,9 @@ func (a *Answerer) answerUSCQ(q query.CQ, c cover.Cover, res *Result) (*Result, 
 	start := time.Now()
 	var ans engine.Answer
 	if len(js.Subs) == 1 {
-		ans = engine.EvaluateUSCQ(js.Subs[0], a.DB, a.Profile)
+		ans = engine.EvaluateUSCQParallel(js.Subs[0], a.DB, a.Profile, a.Workers)
 	} else {
-		ans = engine.EvaluateJUSCQ(js, a.DB, a.Profile)
+		ans = engine.EvaluateJUSCQParallel(js, a.DB, a.Profile, a.Workers)
 	}
 	res.EvalTime = time.Since(start)
 	res.Tuples = ans.Tuples

@@ -3,6 +3,12 @@ package engine
 // Layout-dispatched access paths. The executor only goes through these,
 // so the same plans run on both layouts; the RDF layout pays its
 // per-slot probing cost inside rdfStore.
+//
+// Every path guards the table lookup explicitly: a query over a
+// predicate absent from the data must return empty, not panic. (The
+// probe paths previously leaned on the tables' nil-receiver method
+// guards; the guards now live here so the invariant is visible at the
+// dispatch layer and survives table-type refactors.)
 
 // ConceptMembers returns all members of a concept.
 func (db *DB) ConceptMembers(name string) []int64 {
@@ -21,7 +27,11 @@ func (db *DB) ConceptContains(name string, id int64) bool {
 	if db.Layout == LayoutRDF {
 		return db.rdf.conceptContains(name, id)
 	}
-	return db.concepts[name].Contains(id)
+	t := db.concepts[name]
+	if t == nil {
+		return false
+	}
+	return t.Contains(id)
 }
 
 // RoleObjects returns the objects reachable from subject s.
@@ -29,7 +39,11 @@ func (db *DB) RoleObjects(name string, s int64) []int64 {
 	if db.Layout == LayoutRDF {
 		return db.rdf.roleObjects(name, s)
 	}
-	return db.roles[name].Objects(s)
+	t := db.roles[name]
+	if t == nil {
+		return nil
+	}
+	return t.Objects(s)
 }
 
 // RoleSubjects returns the subjects reaching object o.
@@ -37,7 +51,11 @@ func (db *DB) RoleSubjects(name string, o int64) []int64 {
 	if db.Layout == LayoutRDF {
 		return db.rdf.roleSubjects(name, o)
 	}
-	return db.roles[name].Subjects(o)
+	t := db.roles[name]
+	if t == nil {
+		return nil
+	}
+	return t.Subjects(o)
 }
 
 // RoleContains probes pair membership.
@@ -45,7 +63,11 @@ func (db *DB) RoleContains(name string, s, o int64) bool {
 	if db.Layout == LayoutRDF {
 		return db.rdf.roleContains(name, s, o)
 	}
-	return db.roles[name].ContainsPair(s, o)
+	t := db.roles[name]
+	if t == nil {
+		return false
+	}
+	return t.ContainsPair(s, o)
 }
 
 // RolePairs visits every pair of the role (full scan).

@@ -91,6 +91,9 @@ func (db *DB) Finalize() {
 	for _, t := range db.concepts {
 		t.finalize()
 	}
+	for _, t := range db.roles {
+		t.finalize()
+	}
 	if db.Layout == LayoutRDF {
 		db.rdf = buildRDFStore(db)
 	}

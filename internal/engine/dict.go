@@ -2,12 +2,24 @@
 // query evaluation to (Section 6.1): dictionary-encoded storage with a
 // unary table per concept and a binary table per role plus one- and
 // two-attribute indexes (the "simple layout"), an entity-oriented
-// DB2RDF-style layout ("RDF layout", [9]), a pipelined executor for the
-// FOL dialects (CQ, UCQ, SCQ, USCQ, JUCQ, JUSCQ), a greedy join-order
-// optimizer, table statistics, and per-profile cost estimation
-// emulating Postgres's explain and DB2's db2expln — including Postgres's
-// estimation shortcuts on very large unions and DB2's statement-length
-// limit, both of which the paper measures.
+// DB2RDF-style layout ("RDF layout", [9]), a streaming batched
+// operator executor for the FOL dialects (CQ, UCQ, SCQ, USCQ, JUCQ,
+// JUSCQ), a greedy join-order optimizer, table statistics, and
+// per-profile cost estimation emulating Postgres's explain and DB2's
+// db2expln — including Postgres's estimation shortcuts on very large
+// unions and DB2's statement-length limit, both of which the paper
+// measures.
+//
+// Execution model: plans compile (compile.go) into trees of Operators
+// (operator.go) exchanging fixed-size batches of int64 rows — scans,
+// index-nested-loop joins, filters, projection, streaming DISTINCT
+// over a 64-bit hash set, and sequential or parallel union (the
+// parallel union operator owns its worker pool). ExecCQ/ExecUCQ are
+// thin wrappers draining compiled pipelines into Relations; the old
+// materialize-everything executor survives as ExecCQMaterialized/
+// ExecUCQMaterialized for differential testing and benchmarking.
+// Per-operator row counters (OpStats, ExplainPipeline) can feed the
+// planner through Profile.Feedback for adaptive re-estimation.
 package engine
 
 import "sort"
@@ -114,6 +126,24 @@ func (t *RoleTable) add(s, o int64) {
 	t.Pairs = append(t.Pairs, k)
 	t.fwd[s] = append(t.fwd[s], o)
 	t.rev[o] = append(t.rev[o], s)
+}
+
+// finalize sorts the pair list and both adjacency indexes, giving
+// deterministic scan and index-expansion order regardless of load
+// order (concept tables get the same treatment; see DB.Finalize).
+func (t *RoleTable) finalize() {
+	sort.Slice(t.Pairs, func(i, j int) bool {
+		if t.Pairs[i][0] != t.Pairs[j][0] {
+			return t.Pairs[i][0] < t.Pairs[j][0]
+		}
+		return t.Pairs[i][1] < t.Pairs[j][1]
+	})
+	for _, vs := range t.fwd {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	for _, vs := range t.rev {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
 }
 
 // Card returns the number of stored pairs.

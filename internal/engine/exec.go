@@ -1,37 +1,30 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
 	"repro/internal/query"
 )
 
-// Relation is a materialized intermediate or final result: rows of ids
-// under a schema of variable names.
+// Relation is a materialized final result (or cached fragment): rows of
+// ids under a schema of variable names. Intermediates of the hot path
+// no longer materialize Relations — they stream through the operator
+// pipeline (operator.go) and are drained into a Relation only at the
+// top.
 type Relation struct {
 	Schema []string
 	Rows   [][]int64
 }
 
-// rowKey serializes a row for hashing.
-func rowKey(row []int64) string {
-	buf := make([]byte, 8*len(row))
-	for i, v := range row {
-		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
-	}
-	return string(buf)
-}
-
-// Distinct removes duplicate rows in place (stable).
+// Distinct removes duplicate rows in place (stable), deduplicating
+// through the 64-bit row hash (collisions verified exactly — no
+// string keys).
 func (r *Relation) Distinct() {
-	seen := make(map[string]bool, len(r.Rows))
+	set := newRowSet(len(r.Schema))
 	out := r.Rows[:0]
 	for _, row := range r.Rows {
-		k := rowKey(row)
-		if !seen[k] {
-			seen[k] = true
+		if set.insert(row) {
 			out = append(out, row)
 		}
 	}
@@ -60,58 +53,11 @@ func (r *Relation) Decode(d *Dictionary) [][]string {
 	return out
 }
 
-// ExecCQ evaluates a planned CQ, returning rows projected on the CQ
-// head (duplicates preserved; callers apply Distinct).
+// ExecCQ evaluates a planned CQ through the streaming operator
+// pipeline, returning rows projected on the CQ head (duplicates
+// preserved; callers apply Distinct).
 func ExecCQ(plan CQPlan, db *DB) *Relation {
-	q := plan.Q
-	// Column layout: variables in order of first use across the plan.
-	colOf := map[string]int{}
-	var cols []string
-	for _, s := range plan.Steps {
-		for _, t := range q.Atoms[s.Atom].Args {
-			if t.IsVar() {
-				if _, ok := colOf[t.Name]; !ok {
-					colOf[t.Name] = len(cols)
-					cols = append(cols, t.Name)
-				}
-			}
-		}
-	}
-	rows := [][]int64{make([]int64, len(cols))}
-	boundMask := make([]bool, len(cols))
-	for _, s := range plan.Steps {
-		rows = execStep(q.Atoms[s.Atom], rows, colOf, boundMask, db)
-		for _, t := range q.Atoms[s.Atom].Args {
-			if t.IsVar() {
-				boundMask[colOf[t.Name]] = true
-			}
-		}
-		if len(rows) == 0 {
-			break
-		}
-	}
-	// Project onto the head.
-	out := &Relation{Schema: headSchema(q.Head)}
-	for _, row := range rows {
-		pr := make([]int64, len(q.Head))
-		ok := true
-		for i, h := range q.Head {
-			if h.Const {
-				id, found := db.Dict.Lookup(h.Name)
-				if !found {
-					ok = false
-					break
-				}
-				pr[i] = id
-			} else {
-				pr[i] = row[colOf[h.Name]]
-			}
-		}
-		if ok {
-			out.Rows = append(out.Rows, pr)
-		}
-	}
-	return out
+	return Drain(CompileCQ(plan, db, nil))
 }
 
 func headSchema(head []query.Term) []string {
@@ -122,107 +68,17 @@ func headSchema(head []query.Term) []string {
 	return s
 }
 
-// execStep joins the current rows with one atom using index lookups.
-func execStep(a query.Atom, rows [][]int64, colOf map[string]int, bound []bool, db *DB) [][]int64 {
-	// resolve returns (value, isBound) of a term under a row.
-	resolve := func(t query.Term, row []int64) (int64, bool, bool) {
-		if t.Const {
-			id, ok := db.Dict.Lookup(t.Name)
-			return id, true, ok
-		}
-		c := colOf[t.Name]
-		if bound[c] {
-			return row[c], true, true
-		}
-		return 0, false, true
-	}
-	var out [][]int64
-	emit := func(row []int64, t query.Term, v int64) []int64 {
-		if t.Const {
-			return row
-		}
-		c := colOf[t.Name]
-		if bound[c] {
-			return row
-		}
-		nr := make([]int64, len(row))
-		copy(nr, row)
-		nr[c] = v
-		return nr
-	}
-	if a.Arity() == 1 {
-		for _, row := range rows {
-			v, isB, ok := resolve(a.Args[0], row)
-			if !ok {
-				continue
-			}
-			if isB {
-				if db.ConceptContains(a.Pred, v) {
-					out = append(out, row)
-				}
-				continue
-			}
-			for _, id := range db.ConceptMembers(a.Pred) {
-				out = append(out, emit(row, a.Args[0], id))
-			}
-		}
-		return out
-	}
-	sameVar := a.Args[0].IsVar() && a.Args[1].IsVar() && a.Args[0].Name == a.Args[1].Name
-	for _, row := range rows {
-		s, sB, okS := resolve(a.Args[0], row)
-		o, oB, okO := resolve(a.Args[1], row)
-		if !okS || !okO {
-			continue
-		}
-		switch {
-		case sB && oB:
-			if db.RoleContains(a.Pred, s, o) {
-				out = append(out, row)
-			}
-		case sB && sameVar:
-			if db.RoleContains(a.Pred, s, s) {
-				out = append(out, row)
-			}
-		case sB:
-			for _, v := range db.RoleObjects(a.Pred, s) {
-				out = append(out, emit(row, a.Args[1], v))
-			}
-		case oB:
-			for _, v := range db.RoleSubjects(a.Pred, o) {
-				out = append(out, emit(row, a.Args[0], v))
-			}
-		default:
-			if sameVar {
-				db.RolePairs(a.Pred, func(ps, po int64) {
-					if ps == po {
-						out = append(out, emit(row, a.Args[0], ps))
-					}
-				})
-			} else {
-				db.RolePairs(a.Pred, func(ps, po int64) {
-					nr := emit(row, a.Args[0], ps)
-					nr = emit(nr, a.Args[1], po)
-					out = append(out, nr)
-				})
-			}
-		}
-	}
-	return out
-}
-
-// ExecUCQ evaluates a planned UCQ with DISTINCT.
+// ExecUCQ evaluates a planned UCQ with DISTINCT through the streaming
+// pipeline (sequential union; use CompileUCQ with workers > 1 for the
+// parallel union operator).
 func ExecUCQ(plan UCQPlan, db *DB) *Relation {
-	out := &Relation{Schema: headSchema(plan.U.Head())}
-	for i := range plan.Plans {
-		r := ExecCQ(plan.Plans[i], db)
-		out.Rows = append(out.Rows, r.Rows...)
-	}
-	out.Distinct()
-	return out
+	return Drain(CompileUCQ(plan, db, nil, 1))
 }
 
-// HashJoin joins two relations on their shared schema variables.
+// HashJoin joins two materialized relations on their shared schema
+// variables (used for JUCQ fragment joins and cached views). Buckets
+// key on the 64-bit hash of the join columns; matches are verified
+// exactly.
 func HashJoin(l, r *Relation) *Relation {
 	rIdx := make(map[string]int, len(r.Schema))
 	for i, v := range r.Schema {
@@ -244,20 +100,33 @@ func HashJoin(l, r *Relation) *Relation {
 			schema = append(schema, v)
 		}
 	}
-	key := func(row []int64, idx [][2]int, side int) string {
-		k := make([]int64, len(idx))
-		for i, c := range idx {
-			k[i] = row[c[side]]
+	key := func(row []int64, side int) uint64 {
+		h := uint64(0x9e3779b97f4a7c15)
+		for _, c := range common {
+			h = mix64(h ^ uint64(row[c[side]]))
 		}
-		return rowKey(k)
+		return h
 	}
-	buckets := make(map[string][][]int64, len(r.Rows))
-	for _, rt := range r.Rows {
-		buckets[key(rt, common, 1)] = append(buckets[key(rt, common, 1)], rt)
+	equalOn := func(lt, rt []int64) bool {
+		for _, c := range common {
+			if lt[c[0]] != rt[c[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	buckets := make(map[uint64][]int, len(r.Rows))
+	for i, rt := range r.Rows {
+		h := key(rt, 1)
+		buckets[h] = append(buckets[h], i)
 	}
 	out := &Relation{Schema: schema}
 	for _, lt := range l.Rows {
-		for _, rt := range buckets[key(lt, common, 0)] {
+		for _, ri := range buckets[key(lt, 0)] {
+			rt := r.Rows[ri]
+			if !equalOn(lt, rt) {
+				continue
+			}
 			row := make([]int64, 0, len(schema))
 			row = append(row, lt...)
 			for _, j := range rExtra {
@@ -348,10 +217,11 @@ type Answer struct {
 	EstCost float64
 }
 
-// EvaluateCQ plans and runs a plain CQ.
+// EvaluateCQ plans and runs a plain CQ through the pipeline; observed
+// cardinalities flow into prof.Feedback when enabled.
 func EvaluateCQ(q query.CQ, db *DB, prof *Profile) Answer {
 	p := PlanCQ(q, db, prof)
-	r := ExecCQ(p, db)
+	r := Drain(CompileCQ(p, db, prof))
 	r.Distinct()
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
@@ -359,14 +229,34 @@ func EvaluateCQ(q query.CQ, db *DB, prof *Profile) Answer {
 // EvaluateUCQ plans and runs a UCQ.
 func EvaluateUCQ(u query.UCQ, db *DB, prof *Profile) Answer {
 	p := PlanUCQ(u, db, prof)
-	r := ExecUCQ(p, db)
+	r := Drain(CompileUCQ(p, db, prof, 1))
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// EvaluateUCQParallel plans and runs a UCQ with its union arms spread
+// over worker goroutines through the parallel union operator.
+func EvaluateUCQParallel(u query.UCQ, db *DB, prof *Profile, workers int) Answer {
+	p := PlanUCQ(u, db, prof)
+	r := Drain(CompileUCQ(p, db, prof, workers))
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
 
 // EvaluateJUCQ plans and runs a JUCQ.
 func EvaluateJUCQ(j query.JUCQ, db *DB, prof *Profile) Answer {
+	return EvaluateJUCQParallel(j, db, prof, 1)
+}
+
+// EvaluateJUCQParallel plans and runs a JUCQ, evaluating each
+// fragment's union arms over worker goroutines (workers <= 1 keeps the
+// sequential pipeline); observed cardinalities flow into prof.Feedback
+// when enabled.
+func EvaluateJUCQParallel(j query.JUCQ, db *DB, prof *Profile, workers int) Answer {
 	p := PlanJUCQ(j, db, prof)
-	r := ExecJUCQ(p, db)
+	frags := make([]*Relation, len(p.Frags))
+	for i := range p.Frags {
+		frags[i] = Drain(CompileUCQ(p.Frags[i], db, prof, workers))
+	}
+	r := JoinAndProject(frags, p.J.Head, db)
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
 

@@ -1,0 +1,829 @@
+package engine
+
+// Streaming batched operator model. Instead of materializing every
+// intermediate result as [][]int64, plans compile (compile.go) into a
+// tree of Operators exchanging fixed-capacity batches of int64 rows:
+//
+//	Open()          prepare state (recursively opens children)
+//	Next(*Batch)    fill the caller's batch; false when exhausted
+//	Close()         release state, flush cardinality feedback
+//
+// The operators are the classic relational set specialized to the
+// dictionary-encoded storage: source scans (scanOp, singletonOp), an
+// index-nested-loop join driven by the plan's access paths (joinOp),
+// a fully-bound filter (filterOp), head projection (projectOp),
+// streaming DISTINCT over a 64-bit hash set (distinctOp), and
+// sequential / parallel union (unionOp, parallel.go's unionParallelOp).
+// Every operator counts the batches and rows it emits; per-operator
+// cardinalities feed the planner's cost model through
+// Profile.Feedback (profile.go).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultBatchSize is the row capacity of one exchanged batch.
+const DefaultBatchSize = 1024
+
+// Batch is a fixed-capacity, row-major buffer of int64 rows flowing
+// between operators. Width zero (boolean pipelines) is supported: rows
+// are counted even though they carry no columns.
+type Batch struct {
+	width int
+	n     int
+	data  []int64
+}
+
+// NewBatch allocates a batch for rows of the given width. Storage
+// grows lazily up to the row capacity, so short streams (the common
+// case across hundreds of reformulation arms) stay cheap.
+func NewBatch(width int) *Batch {
+	return &Batch{width: width}
+}
+
+// Width returns the number of columns per row.
+func (b *Batch) Width() int { return b.width }
+
+// Len returns the number of rows currently held.
+func (b *Batch) Len() int { return b.n }
+
+// Full reports whether the batch reached its row capacity.
+func (b *Batch) Full() bool { return b.n >= DefaultBatchSize }
+
+// Reset empties the batch, keeping its storage.
+func (b *Batch) Reset() {
+	b.n = 0
+	b.data = b.data[:0]
+}
+
+// Row returns the i-th row, aliasing the batch's storage.
+func (b *Batch) Row(i int) []int64 { return b.data[i*b.width : (i+1)*b.width] }
+
+// Append copies row into the batch and returns the in-batch slice so
+// callers can overwrite individual columns in place.
+func (b *Batch) Append(row []int64) []int64 {
+	b.data = append(b.data, row...)
+	b.n++
+	return b.data[len(b.data)-b.width:]
+}
+
+// CopyFrom replaces the batch's contents with src's.
+func (b *Batch) CopyFrom(src *Batch) {
+	b.width = src.width
+	b.n = src.n
+	b.data = append(b.data[:0], src.data...)
+}
+
+// OpStats reports what one operator produced during execution.
+type OpStats struct {
+	Op      string
+	Batches int64
+	Rows    int64
+}
+
+// Operator is the streaming execution interface. Next fills the
+// caller's batch (resetting it first) and returns false once the
+// stream is exhausted; batches need not be full. Operators are
+// single-consumer and not safe for concurrent Next calls; the parallel
+// union runs each child on exactly one worker.
+type Operator interface {
+	// Schema names the columns of emitted batches; emitted batches have
+	// width len(Schema()).
+	Schema() []string
+	Open()
+	Next(out *Batch) bool
+	Close()
+	Stats() OpStats
+	Children() []Operator
+}
+
+// opBase carries the shared schema and emit counters.
+type opBase struct {
+	name    string
+	schema  []string
+	batches int64
+	rows    int64
+}
+
+func (o *opBase) Schema() []string { return o.schema }
+
+// resetStats zeroes the emit counters; every operator calls it from
+// Open so a reused (compiled-once) tree reports per-execution
+// cardinalities, keeping Stats, ExplainPipeline, and the feedback
+// flushed at Close scoped to one execution.
+func (o *opBase) resetStats() {
+	o.batches, o.rows = 0, 0
+}
+
+func (o *opBase) Stats() OpStats {
+	return OpStats{Op: o.name, Batches: o.batches, Rows: o.rows}
+}
+
+// yield counts out's rows and reports whether it is non-empty.
+func (o *opBase) yield(out *Batch) bool {
+	if out.Len() == 0 {
+		return false
+	}
+	o.batches++
+	o.rows += int64(out.Len())
+	return true
+}
+
+// --- hashing (shared by distinctOp, Relation.Distinct, HashJoin) ---
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixing function, so dedup needs no string keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashRow hashes a row order-sensitively.
+func hashRow(row []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range row {
+		h = mix64(h ^ uint64(v))
+	}
+	return h
+}
+
+func equalRows(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSet is an exact duplicate detector: rows bucket by 64-bit hash and
+// collisions are resolved by comparing against an arena of inserted
+// rows, so no false merges occur.
+type rowSet struct {
+	width int
+	seen  map[uint64][]int
+	arena []int64
+}
+
+func newRowSet(width int) *rowSet {
+	return &rowSet{width: width, seen: make(map[uint64][]int)}
+}
+
+// insert adds row if unseen, reporting whether it was new.
+func (s *rowSet) insert(row []int64) bool {
+	h := hashRow(row)
+	for _, off := range s.seen[h] {
+		if equalRows(s.arena[off:off+s.width], row) {
+			return false
+		}
+	}
+	s.seen[h] = append(s.seen[h], len(s.arena))
+	s.arena = append(s.arena, row...)
+	return true
+}
+
+// --- source operators ---
+
+// singletonOp emits one all-zero row: the seed of a pipelined plan
+// whose first step binds its own columns.
+type singletonOp struct {
+	opBase
+	done bool
+	zero []int64
+}
+
+func newSingleton(schema []string) *singletonOp {
+	return &singletonOp{
+		opBase: opBase{name: "singleton", schema: schema},
+		zero:   make([]int64, len(schema)),
+	}
+}
+
+func (o *singletonOp) Open() {
+	o.resetStats()
+	o.done = false
+}
+
+func (o *singletonOp) Next(out *Batch) bool {
+	out.Reset()
+	if o.done {
+		return false
+	}
+	o.done = true
+	out.Append(o.zero)
+	return o.yield(out)
+}
+
+func (o *singletonOp) Close()               {}
+func (o *singletonOp) Children() []Operator { return nil }
+
+// scanOp is a source table scan: it streams a whole concept table (one
+// column) or role table (two columns, or one for the R(x,x) diagonal)
+// into fresh full-width rows.
+type scanOp struct {
+	opBase
+	db   *DB
+	join *atomJoin // unbound atom describing what to scan
+	prof *Profile
+
+	zero    []int64
+	members []int64    // concept scan / diagonal
+	pairs   [][2]int64 // role scan
+	pos     int
+}
+
+func newScan(schema []string, j *atomJoin, db *DB, prof *Profile) *scanOp {
+	return &scanOp{
+		opBase: opBase{name: "scan(" + j.pred + ")", schema: schema},
+		db:     db,
+		join:   j,
+		prof:   prof,
+		zero:   make([]int64, len(schema)),
+	}
+}
+
+func (o *scanOp) Open() {
+	o.resetStats()
+	o.pos = 0
+	o.members, o.pairs = nil, nil
+	if o.join.dead {
+		return
+	}
+	switch {
+	case o.join.arity == 1:
+		o.members = o.db.ConceptMembers(o.join.pred)
+	case o.join.sameVar:
+		for _, p := range rolePairsAll(o.db, o.join.pred) {
+			if p[0] == p[1] {
+				o.members = append(o.members, p[0])
+			}
+		}
+	default:
+		o.pairs = rolePairsAll(o.db, o.join.pred)
+	}
+}
+
+func (o *scanOp) Next(out *Batch) bool {
+	out.Reset()
+	if o.members != nil || o.join.arity == 1 || o.join.sameVar {
+		for o.pos < len(o.members) && !out.Full() {
+			r := out.Append(o.zero)
+			r[o.join.s.col] = o.members[o.pos]
+			o.pos++
+		}
+		return o.yield(out)
+	}
+	for o.pos < len(o.pairs) && !out.Full() {
+		p := o.pairs[o.pos]
+		r := out.Append(o.zero)
+		r[o.join.s.col] = p[0]
+		r[o.join.o.col] = p[1]
+		o.pos++
+	}
+	return o.yield(out)
+}
+
+func (o *scanOp) Close() {
+	// A source scan has one conceptual input row; the observed ratio is
+	// therefore the scanned cardinality itself.
+	o.prof.observeStep(o.join.pred, o.join.access, 1, o.rows)
+}
+
+func (o *scanOp) Children() []Operator { return nil }
+
+// rolePairsAll materializes the pair list of a role once per operator:
+// the simple layout returns the stored slice for free; the RDF layout
+// pays one DPH sweep instead of one per input row.
+func rolePairsAll(db *DB, pred string) [][2]int64 {
+	if db.Layout != LayoutRDF {
+		if t := db.roles[pred]; t != nil {
+			return t.Pairs
+		}
+		return nil
+	}
+	var out [][2]int64
+	db.RolePairs(pred, func(s, o int64) { out = append(out, [2]int64{s, o}) })
+	return out
+}
+
+// --- atom joining (shared by scan/filter/join) ---
+
+// termRef is a compiled atom argument: a dictionary constant or a
+// column of the pipeline's row layout, with the bound-ness the planner
+// established for this step.
+type termRef struct {
+	isConst bool
+	constID int64
+	col     int
+	bound   bool
+}
+
+func (t termRef) isBound() bool { return t.isConst || t.bound }
+
+func (t termRef) value(row []int64) int64 {
+	if t.isConst {
+		return t.constID
+	}
+	return row[t.col]
+}
+
+// atomJoin is the compiled form of joining the pipeline's rows with one
+// atom through the layout-dispatched access paths.
+type atomJoin struct {
+	db      *DB
+	pred    string
+	arity   int
+	access  StepAccess
+	s, o    termRef
+	sameVar bool
+	// dead marks an atom with a constant absent from the dictionary: it
+	// can match nothing.
+	dead bool
+
+	// cached full role scan (built lazily, once per operator, for
+	// mid-pipeline cross products).
+	scanPairs   [][2]int64
+	scanDiag    []int64
+	scansLoaded bool
+}
+
+// fullyBound reports whether the atom only checks already-bound values,
+// compiling to a filter instead of a join.
+func (j *atomJoin) fullyBound() bool {
+	if j.arity == 1 {
+		return j.s.isBound()
+	}
+	return j.s.isBound() && (j.o.isBound() || j.sameVar)
+}
+
+// unbound reports whether no argument is bound — a source scan.
+func (j *atomJoin) unbound() bool {
+	if j.dead {
+		return false
+	}
+	if j.arity == 1 {
+		return !j.s.isBound()
+	}
+	return !j.s.isBound() && !j.o.isBound()
+}
+
+// keep evaluates a fully bound atom against one row.
+func (j *atomJoin) keep(row []int64) bool {
+	if j.dead {
+		return false
+	}
+	if j.arity == 1 {
+		return j.db.ConceptContains(j.pred, j.s.value(row))
+	}
+	s := j.s.value(row)
+	o := s
+	if !j.sameVar {
+		o = j.o.value(row)
+	}
+	return j.db.RoleContains(j.pred, s, o)
+}
+
+// matchSet is one row's pending expansions: either keep copies of the
+// row unchanged, or vals written to column wc1, or pairs written to
+// columns (wc1, wc2).
+type matchSet struct {
+	keep     int
+	vals     []int64
+	pairs    [][2]int64
+	wc1, wc2 int
+}
+
+func (m matchSet) count() int {
+	if m.pairs != nil {
+		return len(m.pairs)
+	}
+	if m.vals != nil {
+		return len(m.vals)
+	}
+	return m.keep
+}
+
+// matches computes the expansions of one input row through this atom.
+func (j *atomJoin) matches(row []int64) matchSet {
+	if j.dead {
+		return matchSet{}
+	}
+	if j.arity == 1 {
+		if j.s.isBound() {
+			if j.db.ConceptContains(j.pred, j.s.value(row)) {
+				return matchSet{keep: 1}
+			}
+			return matchSet{}
+		}
+		return matchSet{vals: j.db.ConceptMembers(j.pred), wc1: j.s.col}
+	}
+	sB, oB := j.s.isBound(), j.o.isBound()
+	switch {
+	case sB && (oB || j.sameVar):
+		if j.keep(row) {
+			return matchSet{keep: 1}
+		}
+		return matchSet{}
+	case sB:
+		return matchSet{vals: j.db.RoleObjects(j.pred, j.s.value(row)), wc1: j.o.col}
+	case oB:
+		return matchSet{vals: j.db.RoleSubjects(j.pred, j.o.value(row)), wc1: j.s.col}
+	default:
+		j.loadScan()
+		if j.sameVar {
+			return matchSet{vals: j.scanDiag, wc1: j.s.col}
+		}
+		return matchSet{pairs: j.scanPairs, wc1: j.s.col, wc2: j.o.col}
+	}
+}
+
+func (j *atomJoin) loadScan() {
+	if j.scansLoaded {
+		return
+	}
+	j.scansLoaded = true
+	pairs := rolePairsAll(j.db, j.pred)
+	if j.sameVar {
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				j.scanDiag = append(j.scanDiag, p[0])
+			}
+		}
+		return
+	}
+	j.scanPairs = pairs
+}
+
+// --- filter ---
+
+// filterOp keeps the rows satisfying a fully bound atom (probe access).
+type filterOp struct {
+	opBase
+	child  Operator
+	join   *atomJoin
+	prof   *Profile
+	rowsIn int64
+	in     *Batch
+}
+
+func newFilter(child Operator, j *atomJoin, prof *Profile) *filterOp {
+	return &filterOp{
+		opBase: opBase{name: "filter(" + j.pred + ")", schema: child.Schema()},
+		child:  child,
+		join:   j,
+		prof:   prof,
+	}
+}
+
+func (o *filterOp) Open() {
+	o.resetStats()
+	o.rowsIn = 0
+	if o.in == nil {
+		o.in = NewBatch(len(o.child.Schema()))
+	}
+	o.in.Reset()
+	o.child.Open()
+}
+
+func (o *filterOp) Next(out *Batch) bool {
+	out.Reset()
+	for out.Len() == 0 {
+		if !o.child.Next(o.in) {
+			return false
+		}
+		o.rowsIn += int64(o.in.Len())
+		for i := 0; i < o.in.Len(); i++ {
+			row := o.in.Row(i)
+			if o.join.keep(row) {
+				out.Append(row)
+			}
+		}
+	}
+	return o.yield(out)
+}
+
+func (o *filterOp) Close() {
+	o.child.Close()
+	o.prof.observeStep(o.join.pred, o.join.access, o.rowsIn, o.rows)
+}
+
+func (o *filterOp) Children() []Operator { return []Operator{o.child} }
+
+// --- index-nested-loop join ---
+
+// joinOp extends each input row with the matches of one or more
+// alternative atoms (several alternatives = one SCQ block), probing the
+// forward/reverse indexes for bound arguments and scanning otherwise.
+type joinOp struct {
+	opBase
+	child  Operator
+	alts   []*atomJoin
+	prof   *Profile
+	rowsIn int64
+
+	in     *Batch
+	inPos  int
+	curRow []int64
+	altIdx int
+
+	pend    matchSet
+	pendIdx int
+}
+
+func newJoin(child Operator, alts []*atomJoin, prof *Profile) *joinOp {
+	preds := make([]string, len(alts))
+	for i, a := range alts {
+		preds[i] = a.pred
+	}
+	return &joinOp{
+		opBase: opBase{name: "join(" + strings.Join(preds, "|") + ")", schema: child.Schema()},
+		child:  child,
+		alts:   alts,
+		prof:   prof,
+	}
+}
+
+func (o *joinOp) Open() {
+	o.resetStats()
+	o.rowsIn = 0
+	if o.in == nil {
+		o.in = NewBatch(len(o.child.Schema()))
+	}
+	o.in.Reset()
+	o.inPos, o.altIdx = 0, 0
+	o.curRow = nil
+	o.pend, o.pendIdx = matchSet{}, 0
+	o.child.Open()
+}
+
+func (o *joinOp) Next(out *Batch) bool {
+	out.Reset()
+	for {
+		// Drain the pending expansions of (current row, current atom).
+		if o.pendIdx < o.pend.count() {
+			if out.Full() {
+				return o.yield(out)
+			}
+			o.emitMatch(out)
+			o.pendIdx++
+			continue
+		}
+		// Next alternative atom for the current row.
+		if o.curRow != nil {
+			if o.altIdx < len(o.alts) {
+				o.pend = o.alts[o.altIdx].matches(o.curRow)
+				o.pendIdx = 0
+				o.altIdx++
+				continue
+			}
+			o.curRow = nil
+		}
+		// Next row of the current input batch.
+		if o.inPos < o.in.Len() {
+			o.curRow = o.in.Row(o.inPos)
+			o.inPos++
+			o.altIdx = 0
+			continue
+		}
+		// Pull the next input batch.
+		if !o.child.Next(o.in) {
+			return o.yield(out)
+		}
+		o.rowsIn += int64(o.in.Len())
+		o.inPos = 0
+	}
+}
+
+func (o *joinOp) emitMatch(out *Batch) {
+	m := &o.pend
+	switch {
+	case m.pairs != nil:
+		r := out.Append(o.curRow)
+		r[m.wc1] = m.pairs[o.pendIdx][0]
+		r[m.wc2] = m.pairs[o.pendIdx][1]
+	case m.vals != nil:
+		r := out.Append(o.curRow)
+		r[m.wc1] = m.vals[o.pendIdx]
+	default:
+		out.Append(o.curRow)
+	}
+}
+
+func (o *joinOp) Close() {
+	o.child.Close()
+	if len(o.alts) == 1 {
+		o.prof.observeStep(o.alts[0].pred, o.alts[0].access, o.rowsIn, o.rows)
+	}
+}
+
+func (o *joinOp) Children() []Operator { return []Operator{o.child} }
+
+// --- projection ---
+
+// projectOp maps pipeline rows onto the query head: source columns for
+// head variables, dictionary ids for head constants. A head constant
+// absent from the dictionary (dead) matches nothing; a head variable
+// absent from the pipeline's schema drops the row.
+type projectOp struct {
+	opBase
+	child Operator
+	// srcCols[i] ≥ 0 reads that pipeline column; -1 emits consts[i].
+	srcCols []int
+	consts  []int64
+	dead    bool
+
+	in      *Batch
+	scratch []int64
+}
+
+func newProject(child Operator, schema []string, srcCols []int, consts []int64, dead bool) *projectOp {
+	return &projectOp{
+		opBase:  opBase{name: "project", schema: schema},
+		child:   child,
+		srcCols: srcCols,
+		consts:  consts,
+		dead:    dead,
+	}
+}
+
+func (o *projectOp) Open() {
+	o.resetStats()
+	if o.in == nil {
+		o.in = NewBatch(len(o.child.Schema()))
+		o.scratch = make([]int64, len(o.schema))
+	}
+	o.in.Reset()
+	o.child.Open()
+}
+
+func (o *projectOp) Next(out *Batch) bool {
+	out.Reset()
+	if o.dead {
+		return false
+	}
+	for out.Len() == 0 {
+		if !o.child.Next(o.in) {
+			return false
+		}
+		for i := 0; i < o.in.Len(); i++ {
+			row := o.in.Row(i)
+			for c, src := range o.srcCols {
+				if src >= 0 {
+					o.scratch[c] = row[src]
+				} else {
+					o.scratch[c] = o.consts[c]
+				}
+			}
+			out.Append(o.scratch)
+		}
+	}
+	return o.yield(out)
+}
+
+func (o *projectOp) Close()               { o.child.Close() }
+func (o *projectOp) Children() []Operator { return []Operator{o.child} }
+
+// --- streaming distinct ---
+
+// distinctOp streams DISTINCT: rows hash into a 64-bit set (collisions
+// verified exactly against an arena), and only first occurrences pass.
+type distinctOp struct {
+	opBase
+	child Operator
+	in    *Batch
+	set   *rowSet
+}
+
+func newDistinct(child Operator) *distinctOp {
+	return &distinctOp{
+		opBase: opBase{name: "distinct", schema: child.Schema()},
+		child:  child,
+	}
+}
+
+func (o *distinctOp) Open() {
+	o.resetStats()
+	if o.in == nil {
+		o.in = NewBatch(len(o.child.Schema()))
+	}
+	o.in.Reset()
+	o.set = newRowSet(len(o.child.Schema()))
+	o.child.Open()
+}
+
+func (o *distinctOp) Next(out *Batch) bool {
+	out.Reset()
+	for out.Len() == 0 {
+		if !o.child.Next(o.in) {
+			return false
+		}
+		for i := 0; i < o.in.Len(); i++ {
+			row := o.in.Row(i)
+			if o.set.insert(row) {
+				out.Append(row)
+			}
+		}
+	}
+	return o.yield(out)
+}
+
+func (o *distinctOp) Close()               { o.child.Close() }
+func (o *distinctOp) Children() []Operator { return []Operator{o.child} }
+
+// --- sequential union ---
+
+// unionOp concatenates its children's streams (UNION ALL; wrap in
+// distinctOp for UNION).
+type unionOp struct {
+	opBase
+	children []Operator
+	idx      int
+}
+
+func newUnion(schema []string, children []Operator) *unionOp {
+	return &unionOp{opBase: opBase{name: "union", schema: schema}, children: children}
+}
+
+func (o *unionOp) Open() {
+	o.resetStats()
+	o.idx = 0
+	for _, c := range o.children {
+		c.Open()
+	}
+}
+
+func (o *unionOp) Next(out *Batch) bool {
+	out.Reset()
+	for o.idx < len(o.children) {
+		if o.children[o.idx].Next(out) {
+			return o.yield(out)
+		}
+		o.idx++
+	}
+	return false
+}
+
+func (o *unionOp) Close() {
+	for _, c := range o.children {
+		c.Close()
+	}
+}
+
+func (o *unionOp) Children() []Operator { return o.children }
+
+// --- draining and diagnostics ---
+
+// Drain runs a compiled pipeline to completion and materializes its
+// output as a Relation — the bridge to the materialized-relation world
+// of HashJoin, views, and result decoding.
+func Drain(op Operator) *Relation {
+	op.Open()
+	defer op.Close()
+	rel := &Relation{Schema: op.Schema()}
+	b := NewBatch(len(op.Schema()))
+	for op.Next(b) {
+		for i := 0; i < b.Len(); i++ {
+			rel.Rows = append(rel.Rows, append([]int64(nil), b.Row(i)...))
+		}
+	}
+	return rel
+}
+
+// ExplainPipeline renders an operator tree with the per-operator row
+// and batch counters gathered during execution — the "EXPLAIN ANALYZE"
+// of the streaming path.
+func ExplainPipeline(op Operator) string {
+	var b strings.Builder
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		st := op.Stats()
+		fmt.Fprintf(&b, "%s%-24s rows=%-8d batches=%d\n",
+			strings.Repeat("  ", depth), st.Op, st.Rows, st.Batches)
+		children := op.Children()
+		// Render children deterministically even if the slice is shared.
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String()
+}
+
+// CollectStats flattens the tree's statistics, roots first.
+func CollectStats(op Operator) []OpStats {
+	var out []OpStats
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		out = append(out, op.Stats())
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(op)
+	return out
+}

@@ -5,41 +5,119 @@ import (
 	"sync"
 )
 
-// ExecUCQParallel evaluates a planned UCQ with its arms spread over
-// worker goroutines. This is an engine capability beyond the paper
-// (neither Postgres 9.3 nor DB2 10.5 parallelized union arms); it is
-// exercised by the ablation benchmarks to show how much of the UCQ
-// penalty is latency rather than total work. The database is read-only
-// during execution, so concurrent arm evaluation is safe.
-func ExecUCQParallel(plan UCQPlan, db *DB, workers int) *Relation {
-	n := len(plan.Plans)
-	if workers <= 1 || n <= 1 {
-		return ExecUCQ(plan, db)
-	}
+// unionParallelOp is the parallel union: an engine operator that owns a
+// pool of worker goroutines, each draining whole child pipelines and
+// handing finished batches to the single consumer. This replaces the
+// old ExecUCQParallel special case — parallel union is now an engine
+// capability any compiled plan can use (neither Postgres 9.3 nor DB2
+// 10.5 parallelized union arms; the ablation benchmarks use it to show
+// how much of the UCQ penalty is latency rather than total work). The
+// database is read-only during execution, so concurrent arm evaluation
+// is safe. Output batch order is nondeterministic across children; set
+// semantics are unaffected (wrap in distinct, or sort after decode).
+type unionParallelOp struct {
+	opBase
+	children []Operator
+	workers  int
+
+	results chan *Batch
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+	pool    sync.Pool
+}
+
+// NewUnionParallel builds a parallel union over children with up to
+// workers goroutines (capped at GOMAXPROCS and at len(children)). With
+// workers <= 1 or fewer than two children, it degrades to the
+// sequential union.
+func NewUnionParallel(schema []string, children []Operator, workers int) Operator {
 	if workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]*Relation, n)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = ExecCQ(plan.Plans[i], db)
-			}
-		}()
+	if workers > len(children) {
+		workers = len(children)
 	}
-	for i := 0; i < n; i++ {
+	if workers <= 1 || len(children) <= 1 {
+		return newUnion(schema, children)
+	}
+	return &unionParallelOp{
+		opBase:   opBase{name: "union-parallel", schema: schema},
+		children: children,
+		workers:  workers,
+	}
+}
+
+func (o *unionParallelOp) Open() {
+	o.resetStats()
+	o.results = make(chan *Batch, o.workers*2)
+	o.stop = make(chan struct{})
+	o.stopped = sync.Once{}
+	width := len(o.schema)
+	o.pool.New = func() any { return NewBatch(width) }
+
+	jobs := make(chan int, len(o.children))
+	for i := range o.children {
 		jobs <- i
 	}
 	close(jobs)
-	wg.Wait()
-	out := &Relation{Schema: headSchema(plan.U.Head())}
-	for _, r := range results {
-		out.Rows = append(out.Rows, r.Rows...)
+
+	for w := 0; w < o.workers; w++ {
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			for i := range jobs {
+				if !o.drainChild(o.children[i]) {
+					return // stop requested
+				}
+			}
+		}()
 	}
-	out.Distinct()
-	return out
+	go func() {
+		o.wg.Wait()
+		close(o.results)
+	}()
 }
+
+// drainChild runs one child pipeline to completion, shipping its
+// batches to the consumer. It returns false when the operator was
+// closed early.
+func (o *unionParallelOp) drainChild(c Operator) bool {
+	c.Open()
+	defer c.Close()
+	for {
+		b := o.pool.Get().(*Batch)
+		if !c.Next(b) {
+			o.pool.Put(b)
+			return true
+		}
+		select {
+		case o.results <- b:
+		case <-o.stop:
+			return false
+		}
+	}
+}
+
+func (o *unionParallelOp) Next(out *Batch) bool {
+	b, ok := <-o.results
+	if !ok {
+		return false
+	}
+	out.CopyFrom(b)
+	b.Reset()
+	o.pool.Put(b)
+	return o.yield(out)
+}
+
+func (o *unionParallelOp) Close() {
+	if o.results == nil {
+		return // never opened
+	}
+	o.stopped.Do(func() { close(o.stop) })
+	// Unblock any producer and wait for the workers to finish.
+	for range o.results {
+	}
+}
+
+func (o *unionParallelOp) Children() []Operator { return o.children }

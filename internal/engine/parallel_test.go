@@ -9,6 +9,12 @@ import (
 	"repro/internal/query"
 )
 
+// drainParallel compiles a UCQ plan with the parallel union operator
+// and drains it.
+func drainParallel(plan UCQPlan, db *DB, workers int) *Relation {
+	return Drain(CompileUCQ(plan, db, nil, workers))
+}
+
 func TestParallelMatchesSequential(t *testing.T) {
 	db := loadDB(t, LayoutSimple, sampleABox)
 	u := query.UCQ{Disjuncts: []query.CQ{
@@ -20,13 +26,16 @@ func TestParallelMatchesSequential(t *testing.T) {
 	plan := PlanUCQ(u, db, ProfilePostgres())
 	seq := ExecUCQ(plan, db)
 	for _, workers := range []int{1, 2, 4, 16} {
-		par := ExecUCQParallel(plan, db, workers)
+		par := drainParallel(plan, db, workers)
 		if !sameSets(relToSet(par, db.Dict), relToSet(seq, db.Dict)) {
 			t.Errorf("workers=%d: parallel result differs", workers)
 		}
 	}
 }
 
+// TestPropParallelEquivalence asserts, on randomized UCQs and data,
+// that the parallel union operator computes exactly the sequential
+// ExecUCQ answer set (run under -race in CI).
 func TestPropParallelEquivalence(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -44,7 +53,7 @@ func TestPropParallelEquivalence(t *testing.T) {
 		}
 		plan := PlanUCQ(u, db, ProfileDB2())
 		seq := ExecUCQ(plan, db)
-		par := ExecUCQParallel(plan, db, 4)
+		par := drainParallel(plan, db, 4)
 		return sameSets(relToSet(par, db.Dict), relToSet(seq, db.Dict))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -56,7 +65,49 @@ func TestParallelSingleArmFallsBack(t *testing.T) {
 	db := loadDB(t, LayoutSimple, sampleABox)
 	u := query.UCQ{Disjuncts: []query.CQ{query.MustParseCQ("q(x) <- Researcher(x)")}}
 	plan := PlanUCQ(u, db, ProfilePostgres())
-	if got := ExecUCQParallel(plan, db, 8); len(got.Rows) != 2 {
+	if got := drainParallel(plan, db, 8); len(got.Rows) != 2 {
 		t.Errorf("single-arm parallel = %d rows", len(got.Rows))
+	}
+}
+
+// TestParallelEarlyClose closes the parallel union before draining it;
+// the workers must unblock and exit without deadlock or leak.
+func TestParallelEarlyClose(t *testing.T) {
+	db := loadDB(t, LayoutSimple, sampleABox)
+	var ds []query.CQ
+	for i := 0; i < 32; i++ {
+		ds = append(ds, query.MustParseCQ("q(x) <- Researcher(x)"))
+		ds = append(ds, query.MustParseCQ("q(x) <- supervisedBy(x, y)"))
+	}
+	plan := PlanUCQ(query.UCQ{Disjuncts: ds}, db, ProfilePostgres())
+	arms := make([]Operator, len(plan.Plans))
+	for i := range plan.Plans {
+		arms[i] = CompileCQ(plan.Plans[i], db, nil)
+	}
+	op := NewUnionParallel(headSchema(plan.U.Head()), arms, 4)
+	op.Open()
+	b := NewBatch(len(op.Schema()))
+	op.Next(b) // take at most one batch, then abandon the rest
+	op.Close()
+}
+
+// TestParallelFeedbackIsRaceFree drains a parallel union whose arms
+// flush cardinality feedback into a shared profile on Close.
+func TestParallelFeedbackIsRaceFree(t *testing.T) {
+	db := loadDB(t, LayoutSimple, sampleABox)
+	prof := ProfilePostgres()
+	prof.Feedback = NewCardFeedback()
+	var ds []query.CQ
+	for i := 0; i < 16; i++ {
+		ds = append(ds, query.MustParseCQ("q(x) <- Researcher(x)"))
+		ds = append(ds, query.MustParseCQ("q(x) <- supervisedBy(x, y)"))
+	}
+	plan := PlanUCQ(query.UCQ{Disjuncts: ds}, db, prof)
+	rel := Drain(CompileUCQ(plan, db, prof, 8))
+	if len(rel.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rel.Rows))
+	}
+	if _, ok := prof.Feedback.Fanout("supervisedBy", AccessRoleScan); !ok {
+		t.Error("parallel execution should have flushed feedback")
 	}
 }

@@ -1,10 +1,6 @@
 package engine
 
-import (
-	"sort"
-
-	"repro/internal/query"
-)
+import "repro/internal/query"
 
 // SCQPlan orders the blocks of a semi-conjunctive query. Each step
 // unions the alternative atoms of one block — the factorized evaluation
@@ -59,63 +55,11 @@ func PlanSCQ(s query.SCQ, db *DB, prof *Profile) SCQPlan {
 	return plan
 }
 
-// ExecSCQ evaluates a planned SCQ.
+// ExecSCQ evaluates a planned SCQ through the streaming pipeline: each
+// block compiles to one join whose alternatives union per input row
+// (duplicates preserved; callers apply Distinct).
 func ExecSCQ(plan SCQPlan, db *DB) *Relation {
-	s := plan.S
-	colOf := map[string]int{}
-	var cols []string
-	for _, block := range s.Blocks {
-		for _, a := range block {
-			for _, t := range a.Args {
-				if t.IsVar() {
-					if _, ok := colOf[t.Name]; !ok {
-						colOf[t.Name] = len(cols)
-						cols = append(cols, t.Name)
-					}
-				}
-			}
-		}
-	}
-	rows := [][]int64{make([]int64, len(cols))}
-	bound := make([]bool, len(cols))
-	for _, bi := range plan.Order {
-		var next [][]int64
-		for _, a := range s.Blocks[bi] {
-			next = append(next, execStep(a, rows, colOf, bound, db)...)
-		}
-		for _, a := range s.Blocks[bi] {
-			for _, t := range a.Args {
-				if t.IsVar() {
-					bound[colOf[t.Name]] = true
-				}
-			}
-		}
-		rows = next
-		if len(rows) == 0 {
-			break
-		}
-	}
-	out := &Relation{Schema: headSchema(s.Head)}
-	for _, row := range rows {
-		pr := make([]int64, len(s.Head))
-		ok := true
-		for i, h := range s.Head {
-			if h.Const {
-				id, found := db.Dict.Lookup(h.Name)
-				if !found {
-					ok = false
-					break
-				}
-				pr[i] = id
-			} else {
-				pr[i] = row[colOf[h.Name]]
-			}
-		}
-		if ok {
-			out.Rows = append(out.Rows, pr)
-		}
-	}
-	return out
+	return Drain(CompileSCQ(plan, db, nil))
 }
 
 // USCQPlan is a union of SCQ plans with DISTINCT.
@@ -139,21 +83,13 @@ func PlanUSCQ(u query.USCQ, db *DB, prof *Profile) USCQPlan {
 	return up
 }
 
-// ExecUSCQ evaluates a planned USCQ with DISTINCT.
+// ExecUSCQ evaluates a planned USCQ with DISTINCT through the
+// streaming pipeline.
 func ExecUSCQ(plan USCQPlan, db *DB) *Relation {
-	var out *Relation
-	for i := range plan.Plans {
-		r := ExecSCQ(plan.Plans[i], db)
-		if out == nil {
-			out = &Relation{Schema: r.Schema}
-		}
-		out.Rows = append(out.Rows, r.Rows...)
+	if len(plan.Plans) == 0 {
+		return &Relation{}
 	}
-	if out == nil {
-		out = &Relation{}
-	}
-	out.Distinct()
-	return out
+	return Drain(CompileUSCQ(plan, db, nil, 1))
 }
 
 // JUSCQPlan materializes USCQ fragments and joins them.
@@ -189,33 +125,52 @@ func PlanJUSCQ(j query.JUSCQ, db *DB, prof *Profile) JUSCQPlan {
 	return jp
 }
 
-// ExecJUSCQ evaluates a planned JUSCQ.
+// ExecJUSCQ evaluates a planned JUSCQ: materialize each USCQ fragment,
+// join smallest-first, project the head with DISTINCT.
 func ExecJUSCQ(plan JUSCQPlan, db *DB) *Relation {
 	frags := make([]*Relation, len(plan.Frags))
 	for i := range plan.Frags {
 		frags[i] = ExecUSCQ(plan.Frags[i], db)
 	}
-	sort.SliceStable(frags, func(i, j int) bool { return len(frags[i].Rows) < len(frags[j].Rows) })
-	cur := frags[0]
-	for _, f := range frags[1:] {
-		cur = HashJoin(cur, f)
-		if len(cur.Rows) == 0 {
-			break
-		}
-	}
-	return projectRelation(cur, plan.J.Head, db)
+	return JoinAndProject(frags, plan.J.Head, db)
 }
 
-// EvaluateUSCQ plans and runs a USCQ.
+// EvaluateUSCQ plans and runs a USCQ; observed cardinalities flow into
+// prof.Feedback when enabled.
 func EvaluateUSCQ(u query.USCQ, db *DB, prof *Profile) Answer {
+	return EvaluateUSCQParallel(u, db, prof, 1)
+}
+
+// EvaluateUSCQParallel plans and runs a USCQ with its union arms
+// spread over worker goroutines through the parallel union operator
+// (workers <= 1 keeps the sequential pipeline).
+func EvaluateUSCQParallel(u query.USCQ, db *DB, prof *Profile, workers int) Answer {
 	p := PlanUSCQ(u, db, prof)
-	r := ExecUSCQ(p, db)
+	r := &Relation{}
+	if len(p.Plans) > 0 {
+		r = Drain(CompileUSCQ(p, db, prof, workers))
+	}
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
 
 // EvaluateJUSCQ plans and runs a JUSCQ.
 func EvaluateJUSCQ(j query.JUSCQ, db *DB, prof *Profile) Answer {
+	return EvaluateJUSCQParallel(j, db, prof, 1)
+}
+
+// EvaluateJUSCQParallel plans and runs a JUSCQ, evaluating each
+// fragment's disjuncts over worker goroutines (workers <= 1 keeps the
+// sequential pipeline).
+func EvaluateJUSCQParallel(j query.JUSCQ, db *DB, prof *Profile, workers int) Answer {
 	p := PlanJUSCQ(j, db, prof)
-	r := ExecJUSCQ(p, db)
+	frags := make([]*Relation, len(p.Frags))
+	for i := range p.Frags {
+		fr := &Relation{}
+		if len(p.Frags[i].Plans) > 0 {
+			fr = Drain(CompileUSCQ(p.Frags[i], db, prof, workers))
+		}
+		frags[i] = fr
+	}
+	r := JoinAndProject(frags, p.J.Head, db)
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
