@@ -1,0 +1,120 @@
+// Command benchcover runs the cover-execution benchmark matrix
+// programmatically (testing.Benchmark) and writes the series to
+// BENCH_cover.json: materialized vs streaming hash-join execution of
+// multi-fragment root covers at 1/2/4/8 workers, plus the repeated
+// query with the answer cache on and off.
+//
+// Usage:
+//
+//	benchcover                      # BENCH_cover.json in the cwd
+//	benchcover -o out.json -scale 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/lubm"
+	"repro/internal/reformulate"
+)
+
+// Entry is one benchmark series point.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func record(out *[]Entry, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	e := Entry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	*out = append(*out, e)
+	fmt.Printf("%-40s %10d iter %14.0f ns/op %10d B/op %8d allocs/op\n",
+		e.Name, e.Iterations, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_cover.json", "output file")
+		scale = flag.Int("scale", 4, "universities in the generated database")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	env := exp.BuildEnv(*scale, *seed, engine.LayoutSimple, engine.ProfilePostgres())
+	ref := reformulate.New(env.TBox)
+	var entries []Entry
+
+	for _, qi := range []int{2, 8} { // Q3, Q9
+		q := lubm.Queries()[qi]
+		c := cover.RootCover(q, env.TBox)
+		j, err := c.ReformulateJUCQ(ref)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcover:", err)
+			os.Exit(1)
+		}
+		plan := engine.PlanJUCQ(j, env.DB, env.Profile)
+		record(&entries, q.Name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.ExecJUCQMaterialized(plan, env.DB)
+			}
+		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			record(&entries, fmt.Sprintf("%s/streaming-w%d", q.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				op := engine.CompileJUCQ(plan, env.DB, nil, workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					engine.Drain(op)
+				}
+			})
+		}
+	}
+
+	q9 := lubm.Queries()[8]
+	for _, mode := range []string{"cached", "uncached"} {
+		record(&entries, "Q9/gdl-ext/"+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			a := core.New(env.TBox, env.DB, env.Profile)
+			if mode == "uncached" {
+				a.Cache = nil
+			}
+			if _, err := a.Answer(q9, core.StrategyGDLExt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Answer(q9, core.StrategyGDLExt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcover:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcover:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,145 @@
+package core
+
+// The query-answering cache: cmd/obdaserver traffic is dominated by a
+// small set of hot queries, yet every request used to re-run the cover
+// search (GDL/EDL), PerfectRef reformulation, SQL generation, and
+// planning before a single tuple was produced. AnswerCache memoizes
+// that whole front half of Answer, keyed on the query's canonical form
+// (isomorphic queries share an entry), the strategy, and the TBox/data
+// versions — a TBox or ABox mutation bumps a version, so stale entries
+// become unreachable and age out of the LRU. Execution itself always
+// runs: the cached artifact is the plan, not the answer tuples, so
+// updates to the data are reflected immediately after the version
+// bump while unchanged deployments skip straight to the operator
+// pipeline.
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// DefaultAnswerCacheSize is the LRU capacity New wires into an
+// Answerer.
+const DefaultAnswerCacheSize = 256
+
+// cacheKey identifies one cached reformulation+plan.
+type cacheKey struct {
+	canon    string
+	strategy Strategy
+	tboxVer  uint64
+	dataVer  uint64
+	viaSQL   bool // ViaSQL plans differ (whole-statement JUCQ plan)
+}
+
+// cachedPlan is the reusable front half of one Answer call: the chosen
+// cover, its reformulation, the generated SQL, and the engine plans
+// compiled from it. Operator trees are rebuilt per execution (they are
+// single-consumer and stateful); the plans they compile from are
+// immutable and shared.
+type cachedPlan struct {
+	cover        cover.Cover
+	numFragments int
+	numDisjuncts int
+	sql          string
+
+	searchTime time.Duration // the original search cost, reported once
+
+	// Exactly one of the following plan groups is populated, mirroring
+	// the execution dispatch in Answer.
+	jucq     query.JUCQ
+	ucqPlan  *engine.UCQPlan  // single-fragment JUCQ fast path
+	jucqPlan *engine.JUCQPlan // multi-fragment JUCQ
+
+	juscq     query.JUSCQ
+	uscqPlan  *engine.USCQPlan  // single-fragment USCQ fast path
+	juscqPlan *engine.JUSCQPlan // multi-fragment USCQ
+}
+
+// AnswerCache is a concurrency-safe LRU of cachedPlans.
+type AnswerCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheItem
+	items map[cacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheItem struct {
+	key  cacheKey
+	plan *cachedPlan
+}
+
+// NewAnswerCache builds an empty cache holding up to capacity entries
+// (capacity <= 0 falls back to DefaultAnswerCacheSize).
+func NewAnswerCache(capacity int) *AnswerCache {
+	if capacity <= 0 {
+		capacity = DefaultAnswerCacheSize
+	}
+	return &AnswerCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached plan for key, promoting it to most recently
+// used.
+func (c *AnswerCache) get(key cacheKey) (*cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).plan, true
+}
+
+// put stores a plan under key, evicting the least recently used entry
+// past capacity.
+func (c *AnswerCache) put(key cacheKey, plan *cachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, plan: plan})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *AnswerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *AnswerCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge drops every cached entry (version bumps already make stale
+// entries unreachable; Purge reclaims their memory eagerly).
+func (c *AnswerCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[cacheKey]*list.Element)
+}

@@ -19,6 +19,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
@@ -53,6 +55,9 @@ func Strategies() []Strategy {
 }
 
 // Answerer answers conjunctive queries over a KB through the engine.
+// Answer is safe for concurrent use: the reformulator, the caches, the
+// profile's feedback sink, and the engine's statistics are all
+// mutex-guarded, and the database is read-only during evaluation.
 type Answerer struct {
 	TBox    *dllite.TBox
 	DB      *engine.DB
@@ -68,13 +73,32 @@ type Answerer struct {
 	// RDBMS does. Only supported on the simple layout.
 	ViaSQL bool
 
-	// Workers > 1 evaluates union reformulations through the engine's
-	// parallel union operator: every fragment's union arms spread over
-	// that many worker goroutines (capped at GOMAXPROCS). Fragments of
-	// multi-fragment (WITH-style) plans are still materialized one
-	// after another. Zero or one keeps the fully sequential pipeline,
-	// matching the paper's single-threaded engines. Ignored by ViaSQL.
+	// Workers > 1 spreads evaluation over that many worker goroutines
+	// (capped at GOMAXPROCS): union arms through the parallel union
+	// operator, and the build sides of multi-fragment cover plans
+	// through the streaming hash join's parallel build drain. Zero or
+	// one keeps the fully sequential pipeline, matching the paper's
+	// single-threaded engines. Ignored by ViaSQL.
 	Workers int
+
+	// Cache, when non-nil, memoizes the front half of Answer (cover
+	// search, reformulation, SQL generation, planning) per canonical
+	// query, strategy, and TBox/data version. New enables it with
+	// DefaultAnswerCacheSize; set to nil to re-run the full pipeline on
+	// every request. Note that cached plans freeze the cardinality
+	// estimates of the moment they were planned; Profile.Feedback
+	// refinements apply to new entries only.
+	Cache *AnswerCache
+
+	// tboxVer counts TBox swaps (InvalidateTBox); it versions cache keys.
+	tboxVer atomic.Uint64
+
+	// The cover-estimate memo shared across searches, dropped whenever
+	// the TBox or data version moves.
+	memoMu   sync.Mutex
+	memo     *search.Memo
+	memoTbox uint64
+	memoData uint64
 }
 
 // New wires an Answerer for the given TBox, database, and profile.
@@ -85,7 +109,45 @@ func New(tb *dllite.TBox, db *engine.DB, prof *engine.Profile) *Answerer {
 		Profile: prof,
 		Ref:     reformulate.New(tb),
 		Model:   cost.NewModel(db),
+		Cache:   NewAnswerCache(DefaultAnswerCacheSize),
 	}
+}
+
+// InvalidateTBox must be called after swapping in a new TBox: it
+// rebuilds the reformulator's axiom indexes and the cost model, and
+// bumps the TBox version so cached plans and cover estimates from the
+// old ontology can no longer be served. ABox (data) mutations need no
+// call here — engine.DB bumps its own version on every mutation and
+// the cache keys include it.
+func (a *Answerer) InvalidateTBox() {
+	a.Ref = reformulate.New(a.TBox)
+	a.Model = cost.NewModel(a.DB)
+	a.tboxVer.Add(1)
+}
+
+// searchOpts returns the configured search options with the shared
+// cover-estimate memo wired in (unless the caller set their own, or
+// disabled caching entirely by setting Cache to nil — the memo's
+// lifetime is tied to the cache's versioned keys).
+func (a *Answerer) searchOpts() search.Options {
+	opts := a.SearchOpts
+	if opts.Memo == nil && a.Cache != nil {
+		opts.Memo = a.currentMemo()
+	}
+	return opts
+}
+
+// currentMemo returns the cross-search estimate memo for the current
+// TBox/data versions, dropping stale ones.
+func (a *Answerer) currentMemo() *search.Memo {
+	tv, dv := a.tboxVer.Load(), a.DB.Version()
+	a.memoMu.Lock()
+	defer a.memoMu.Unlock()
+	if a.memo == nil || a.memoTbox != tv || a.memoData != dv {
+		a.memo = search.NewMemo()
+		a.memoTbox, a.memoData = tv, dv
+	}
+	return a.memo
 }
 
 // Result reports one strategy's outcome on one query.
@@ -104,17 +166,53 @@ type Result struct {
 	SQLSize int
 	EstCost float64
 
-	SearchTime time.Duration // cover search (zero for fixed strategies)
+	SearchTime time.Duration // cover search (zero for fixed strategies and cache hits)
 	EvalTime   time.Duration
 
-	// Search carries the raw GDL/EDL result when applicable.
+	// CacheHit reports that the cover, reformulation, SQL, and plan came
+	// from the answer cache — only evaluation ran for this request.
+	CacheHit bool
+
+	// Search carries the raw GDL/EDL result when applicable (fresh
+	// searches only; cache hits skip the search entirely).
 	Search *search.Result
 }
 
 // Answer runs the strategy end to end: choose a cover, reformulate,
 // translate to SQL, enforce the profile's statement limit, and evaluate.
+// The front half (everything up to and including planning) is served
+// from the answer cache when possible; evaluation always runs against
+// the live data.
 func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 	res := &Result{Strategy: s, Query: q}
+	var key cacheKey
+	if a.Cache != nil {
+		key = cacheKey{
+			canon:    query.CanonicalKey(q),
+			strategy: s,
+			tboxVer:  a.tboxVer.Load(),
+			dataVer:  a.DB.Version(),
+			viaSQL:   a.ViaSQL,
+		}
+		if cp, ok := a.Cache.get(key); ok {
+			res.CacheHit = true
+			return a.execute(cp, res)
+		}
+	}
+	cp, err := a.buildPlan(q, s, res)
+	if err != nil {
+		return nil, err
+	}
+	if a.Cache != nil {
+		a.Cache.put(key, cp)
+	}
+	return a.execute(cp, res)
+}
+
+// buildPlan is the cacheable front half of Answer: choose the cover,
+// reformulate it, generate the SQL, and plan the evaluation. It fills
+// res's search fields (fresh searches only reach here).
+func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, error) {
 	var c cover.Cover
 	switch s {
 	case StrategyUCQ, StrategyUCQMin, StrategyUSCQ:
@@ -122,7 +220,7 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 	case StrategyCroot:
 		c = cover.RootCover(q, a.TBox)
 	case StrategyGDLRDBMS:
-		sr := search.GDL(q, a.TBox, a.Ref, &search.RDBMSEstimator{DB: a.DB, Profile: a.Profile}, a.SearchOpts)
+		sr := search.GDL(q, a.TBox, a.Ref, &search.RDBMSEstimator{DB: a.DB, Profile: a.Profile}, a.searchOpts())
 		if sr.Err != nil {
 			return nil, sr.Err
 		}
@@ -130,7 +228,7 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 		res.Search = &sr
 		res.SearchTime = sr.Elapsed
 	case StrategyGDLExt:
-		sr := search.GDL(q, a.TBox, a.Ref, &search.ExtEstimator{Model: a.Model}, a.SearchOpts)
+		sr := search.GDL(q, a.TBox, a.Ref, &search.ExtEstimator{Model: a.Model}, a.searchOpts())
 		if sr.Err != nil {
 			return nil, sr.Err
 		}
@@ -138,7 +236,7 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 		res.Search = &sr
 		res.SearchTime = sr.Elapsed
 	case StrategyEDL:
-		opts := a.SearchOpts
+		opts := a.searchOpts()
 		if opts.MaxCovers == 0 {
 			opts.MaxCovers = 20000 // the paper's A6 cutoff
 		}
@@ -152,11 +250,26 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %q", s)
 	}
-	res.Cover = c
-	res.NumFragments = len(c.Frags)
+	cp := &cachedPlan{cover: c, numFragments: len(c.Frags), searchTime: res.SearchTime}
 
 	if s == StrategyUSCQ {
-		return a.answerUSCQ(q, c, res)
+		js, err := c.ReformulateJUSCQ(a.Ref)
+		if err != nil {
+			return nil, err
+		}
+		cp.juscq = js
+		for _, sub := range js.Subs {
+			cp.numDisjuncts += len(sub.Disjuncts)
+		}
+		cp.sql = sqlgen.JUSCQ(js, sqlgen.Options{Layout: a.DB.Layout})
+		if len(js.Subs) == 1 {
+			up := engine.PlanUSCQ(js.Subs[0], a.DB, a.Profile)
+			cp.uscqPlan = &up
+		} else {
+			jp := engine.PlanJUSCQ(js, a.DB, a.Profile)
+			cp.juscqPlan = &jp
+		}
+		return cp, nil
 	}
 
 	j, err := c.ReformulateJUCQ(a.Ref)
@@ -171,59 +284,61 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 		}
 		j.Subs = []query.UCQ{m}
 	}
-	res.JUCQ = j
+	cp.jucq = j
 	for _, sub := range j.Subs {
-		res.NumDisjuncts += len(sub.Disjuncts)
+		cp.numDisjuncts += len(sub.Disjuncts)
 	}
-	res.SQL = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
-	res.SQLSize = len(res.SQL)
+	cp.sql = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
+	switch {
+	case a.ViaSQL:
+		// ViaSQL reports the whole statement's estimated cost.
+		jp := engine.PlanJUCQ(j, a.DB, a.Profile)
+		cp.jucqPlan = &jp
+	case len(j.Subs) == 1:
+		// Single fragment: evaluate the UCQ directly (no WITH needed).
+		up := engine.PlanUCQ(j.Subs[0], a.DB, a.Profile)
+		cp.ucqPlan = &up
+	default:
+		jp := engine.PlanJUCQ(j, a.DB, a.Profile)
+		cp.jucqPlan = &jp
+	}
+	return cp, nil
+}
+
+// execute runs a (possibly cached) plan: enforce the profile's statement
+// limit, evaluate through the engine (or sqlexec for ViaSQL), and fill
+// in the result.
+func (a *Answerer) execute(cp *cachedPlan, res *Result) (*Result, error) {
+	res.Cover = cp.cover
+	res.NumFragments = cp.numFragments
+	res.NumDisjuncts = cp.numDisjuncts
+	res.JUCQ = cp.jucq
+	res.SQL = cp.sql
+	res.SQLSize = len(cp.sql)
 	if err := a.Profile.CheckStatementSize(res.SQLSize); err != nil {
 		return res, err
 	}
 	start := time.Now()
-	if a.ViaSQL {
-		rel, err := sqlexec.Exec(res.SQL, a.DB)
+	if a.ViaSQL && cp.jucqPlan != nil && cp.uscqPlan == nil && cp.juscqPlan == nil {
+		rel, err := sqlexec.Exec(cp.sql, a.DB)
 		if err != nil {
 			return res, err
 		}
 		res.EvalTime = time.Since(start)
 		res.Tuples = rel.Decode(a.DB.Dict)
-		res.EstCost = engine.PlanJUCQ(j, a.DB, a.Profile).EstCost
+		res.EstCost = cp.jucqPlan.EstCost
 		return res, nil
 	}
 	var ans engine.Answer
-	if len(j.Subs) == 1 {
-		// Single fragment: evaluate the UCQ directly (no WITH needed).
-		ans = engine.EvaluateUCQParallel(j.Subs[0], a.DB, a.Profile, a.Workers)
-	} else {
-		ans = engine.EvaluateJUCQParallel(j, a.DB, a.Profile, a.Workers)
-	}
-	res.EvalTime = time.Since(start)
-	res.Tuples = ans.Tuples
-	res.EstCost = ans.EstCost
-	return res, nil
-}
-
-// answerUSCQ evaluates the factorized USCQ reformulation.
-func (a *Answerer) answerUSCQ(q query.CQ, c cover.Cover, res *Result) (*Result, error) {
-	js, err := c.ReformulateJUSCQ(a.Ref)
-	if err != nil {
-		return nil, err
-	}
-	for _, sub := range js.Subs {
-		res.NumDisjuncts += len(sub.Disjuncts)
-	}
-	res.SQL = sqlgen.JUSCQ(js, sqlgen.Options{Layout: a.DB.Layout})
-	res.SQLSize = len(res.SQL)
-	if err := a.Profile.CheckStatementSize(res.SQLSize); err != nil {
-		return res, err
-	}
-	start := time.Now()
-	var ans engine.Answer
-	if len(js.Subs) == 1 {
-		ans = engine.EvaluateUSCQParallel(js.Subs[0], a.DB, a.Profile, a.Workers)
-	} else {
-		ans = engine.EvaluateJUSCQParallel(js, a.DB, a.Profile, a.Workers)
+	switch {
+	case cp.ucqPlan != nil:
+		ans = engine.ExecUCQPlanned(*cp.ucqPlan, a.DB, a.Profile, a.Workers)
+	case cp.jucqPlan != nil:
+		ans = engine.ExecJUCQPlanned(*cp.jucqPlan, a.DB, a.Profile, a.Workers)
+	case cp.uscqPlan != nil:
+		ans = engine.ExecUSCQPlanned(*cp.uscqPlan, a.DB, a.Profile, a.Workers)
+	default:
+		ans = engine.ExecJUSCQPlanned(*cp.juscqPlan, a.DB, a.Profile, a.Workers)
 	}
 	res.EvalTime = time.Since(start)
 	res.Tuples = ans.Tuples

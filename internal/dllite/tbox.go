@@ -3,6 +3,7 @@ package dllite
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // AxiomKind distinguishes the four DL-LiteR constraint families.
@@ -67,7 +68,8 @@ type TBox struct {
 	concepts map[string]bool
 	roles    map[string]bool
 
-	dep map[string]map[string]bool // Definition 4, computed on demand
+	depOnce sync.Once
+	dep     map[string]map[string]bool // Definition 4, computed on demand
 }
 
 // NewTBox builds a TBox from axioms, inferring the vocabulary and
@@ -167,11 +169,10 @@ func sortedKeys(m map[string]bool) []string {
 // Dep returns dep(name) per Definition 4: the set of concept and role
 // names on which name depends w.r.t. the TBox, i.e. the fixpoint of
 // following positive axioms Y ⊑ X backward from X-sides whose cr(X) is
-// already in the set. The result always contains name itself.
+// already in the set. The result always contains name itself. Safe for
+// concurrent use: the lazy dep computation runs exactly once.
 func (t *TBox) Dep(name string) map[string]bool {
-	if t.dep == nil {
-		t.computeDeps()
-	}
+	t.depOnce.Do(t.computeDeps)
 	if d, ok := t.dep[name]; ok {
 		return d
 	}

@@ -6,7 +6,11 @@ package engine
 // executor laid them out; each plan step becomes a scan (first unbound
 // atom), a filter (fully bound atom), or an index-nested-loop join.
 
-import "repro/internal/query"
+import (
+	"sort"
+
+	"repro/internal/query"
+)
 
 // pipelineLayout assigns every variable of the atom sequence a column,
 // in order of first use.
@@ -217,4 +221,102 @@ func CompileUSCQ(plan USCQPlan, db *DB, prof *Profile, workers int) Operator {
 		u = newUnion(schema, arms)
 	}
 	return newDistinct(u)
+}
+
+// compileProjectNamed projects a pipeline whose schema already names
+// its columns (a fragment join) onto the overall query head.
+func compileProjectNamed(cur Operator, head []query.Term, db *DB) Operator {
+	colOf := map[string]int{}
+	for i, v := range cur.Schema() {
+		if _, ok := colOf[v]; !ok {
+			colOf[v] = i
+		}
+	}
+	return compileProject(cur, head, colOf, db)
+}
+
+// coverJoinOrder picks the fragment join order from the plan's
+// estimated fragment cardinalities: the largest fragment drives the
+// streaming probe pass, the others become build tables loaded
+// smallest-first (cheapest hash tables early, so an empty build side
+// short-circuits as soon as possible).
+func coverJoinOrder(ests []float64) (probe int, builds []int) {
+	probe = 0
+	for i, e := range ests {
+		if e > ests[probe] {
+			probe = i
+		}
+	}
+	for i := range ests {
+		if i != probe {
+			builds = append(builds, i)
+		}
+	}
+	sort.SliceStable(builds, func(a, b int) bool { return ests[builds[a]] < ests[builds[b]] })
+	return probe, builds
+}
+
+// coverWorkerSplit divides one worker budget between the fragment
+// pipelines and the cross-fragment build drain: multi-fragment plans
+// spend the budget across fragments (the hash join drains build sides
+// in parallel, each fragment pipeline getting an equal share for its
+// internal parallel union), while a single-fragment plan hands the
+// whole budget to the fragment's union.
+func coverWorkerSplit(workers, frags int) int {
+	if frags <= 1 {
+		return workers
+	}
+	per := workers / frags
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// CompileJUCQ builds the end-to-end streaming tree of a planned JUCQ
+// cover: per-fragment pipelines (scan → … → union → distinct, the WITH
+// … DISTINCT clauses of Section 3) feed the streaming hash join, whose
+// output is projected onto the overall head and deduplicated. No
+// fragment is materialized as a Relation; workers bounds the goroutines
+// of the build drain and the fragments' parallel unions together.
+func CompileJUCQ(plan JUCQPlan, db *DB, prof *Profile, workers int) Operator {
+	head := plan.J.Head
+	if len(plan.Frags) == 0 {
+		return newUnion(headSchema(head), nil)
+	}
+	perFrag := coverWorkerSplit(workers, len(plan.Frags))
+	frags := make([]Operator, len(plan.Frags))
+	ests := make([]float64, len(plan.Frags))
+	for i := range plan.Frags {
+		frags[i] = CompileUCQ(plan.Frags[i], db, prof, perFrag)
+		ests[i] = plan.Frags[i].EstCard
+	}
+	if len(frags) == 1 {
+		return newDistinct(compileProjectNamed(frags[0], head, db))
+	}
+	probe, builds := coverJoinOrder(ests)
+	hj := NewHashJoin(frags, probe, builds, workers)
+	return newDistinct(compileProjectNamed(hj, head, db))
+}
+
+// CompileJUSCQ is the JUSCQ analogue of CompileJUCQ: factorized USCQ
+// fragment pipelines feeding the streaming hash join.
+func CompileJUSCQ(plan JUSCQPlan, db *DB, prof *Profile, workers int) Operator {
+	head := plan.J.Head
+	if len(plan.Frags) == 0 {
+		return newUnion(headSchema(head), nil)
+	}
+	perFrag := coverWorkerSplit(workers, len(plan.Frags))
+	frags := make([]Operator, len(plan.Frags))
+	ests := make([]float64, len(plan.Frags))
+	for i := range plan.Frags {
+		frags[i] = CompileUSCQ(plan.Frags[i], db, prof, perFrag)
+		ests[i] = plan.Frags[i].EstCard
+	}
+	if len(frags) == 1 {
+		return newDistinct(compileProjectNamed(frags[0], head, db))
+	}
+	probe, builds := coverJoinOrder(ests)
+	hj := NewHashJoin(frags, probe, builds, workers)
+	return newDistinct(compileProjectNamed(hj, head, db))
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dllite"
 )
@@ -35,7 +36,12 @@ type DB struct {
 	roles    map[string]*RoleTable
 	rdf      *rdfStore // non-nil when Layout == LayoutRDF
 
-	stats *Statistics
+	// statsMu guards stats and version: queries running concurrently
+	// (server traffic) may all ask for statistics while a late
+	// Finalize is still computing them.
+	statsMu sync.Mutex
+	stats   *Statistics
+	version uint64
 }
 
 // NewDB builds an empty database with the given layout.
@@ -57,7 +63,7 @@ func (db *DB) AddConceptFact(concept, ind string) {
 		db.concepts[concept] = t
 	}
 	t.add(id)
-	db.stats = nil
+	db.invalidate()
 }
 
 // AddRoleFact stores R(s, o).
@@ -69,7 +75,25 @@ func (db *DB) AddRoleFact(role, s, o string) {
 		db.roles[role] = t
 	}
 	t.add(sid, oid)
+	db.invalidate()
+}
+
+// invalidate drops the cached statistics and bumps the data version —
+// every ABox mutation makes answer/plan caches keyed on Version stale.
+func (db *DB) invalidate() {
+	db.statsMu.Lock()
 	db.stats = nil
+	db.version++
+	db.statsMu.Unlock()
+}
+
+// Version returns the data version: a counter bumped by every ABox
+// mutation. Caches keyed on (query, TBox version, Version) are
+// invalidated wholesale by updates.
+func (db *DB) Version() uint64 {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.version
 }
 
 // LoadABox bulk-loads an ABox and finalizes the layout.
@@ -88,6 +112,12 @@ func (db *DB) LoadABox(ab *dllite.ABox) {
 // computes statistics. It must be called after loading and before
 // querying; loaders in this repo call it for you.
 func (db *DB) Finalize() {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	db.finalizeLocked()
+}
+
+func (db *DB) finalizeLocked() {
 	for _, t := range db.concepts {
 		t.finalize()
 	}
@@ -138,10 +168,13 @@ func (db *DB) RoleNames() []string {
 	return out
 }
 
-// Stats returns the table statistics, computing them if needed.
+// Stats returns the table statistics, computing them if needed. Safe
+// for concurrent use: parallel queries may race a lazy finalize.
 func (db *DB) Stats() *Statistics {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	if db.stats == nil {
-		db.Finalize()
+		db.finalizeLocked()
 	}
 	return db.stats
 }

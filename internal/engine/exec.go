@@ -138,15 +138,26 @@ func HashJoin(l, r *Relation) *Relation {
 	return out
 }
 
-// ExecJUCQ evaluates a planned JUCQ: materialize each fragment with
-// DISTINCT (the WITH clauses of Section 3), join smallest-first, then
-// project the overall head with DISTINCT.
+// ExecJUCQ evaluates a planned JUCQ through the streaming cover
+// pipeline: fragment union pipelines feed the streaming hash join —
+// no fragment Relation is materialized.
 func ExecJUCQ(plan JUCQPlan, db *DB) *Relation {
+	return Drain(CompileJUCQ(plan, db, nil, 1))
+}
+
+// ExecJUCQMaterialized is the pre-streaming cover path, kept as the
+// differential-testing oracle and benchmark baseline: materialize each
+// fragment with DISTINCT (the WITH clauses of Section 3), join
+// smallest-first (plan estimates breaking ties), then project the
+// overall head with DISTINCT.
+func ExecJUCQMaterialized(plan JUCQPlan, db *DB) *Relation {
 	frags := make([]*Relation, len(plan.Frags))
+	ests := make([]float64, len(plan.Frags))
 	for i := range plan.Frags {
 		frags[i] = ExecUCQ(plan.Frags[i], db)
+		ests[i] = plan.Frags[i].EstCard
 	}
-	return JoinAndProject(frags, plan.J.Head, db)
+	return JoinAndProjectEst(frags, ests, plan.J.Head, db)
 }
 
 // JoinAndProject joins materialized fragment relations smallest-first
@@ -154,15 +165,35 @@ func ExecJUCQ(plan JUCQPlan, db *DB) *Relation {
 // query of Section 3. It is exported so view-based evaluation
 // (package views) can substitute cached fragment relations.
 func JoinAndProject(frags []*Relation, head []query.Term, db *DB) *Relation {
+	return JoinAndProjectEst(frags, nil, head, db)
+}
+
+// JoinAndProjectEst is JoinAndProject with the planner's estimated
+// fragment cardinalities: fragments fold left-to-right ordered by
+// materialized size, with the estimates breaking ties, so the smallest
+// build side always joins first even when actual sizes coincide. ests
+// may be nil (pure size order).
+func JoinAndProjectEst(frags []*Relation, ests []float64, head []query.Term, db *DB) *Relation {
 	if len(frags) == 0 {
 		return &Relation{Schema: headSchema(head)}
 	}
-	ordered := make([]*Relation, len(frags))
-	copy(ordered, frags)
-	sort.SliceStable(ordered, func(i, j int) bool { return len(ordered[i].Rows) < len(ordered[j].Rows) })
-	cur := ordered[0]
-	for _, f := range ordered[1:] {
-		cur = HashJoin(cur, f)
+	order := make([]int, len(frags))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if len(frags[i].Rows) != len(frags[j].Rows) {
+			return len(frags[i].Rows) < len(frags[j].Rows)
+		}
+		if ests != nil {
+			return ests[i] < ests[j]
+		}
+		return false
+	})
+	cur := frags[order[0]]
+	for _, fi := range order[1:] {
+		cur = HashJoin(cur, frags[fi])
 		if len(cur.Rows) == 0 {
 			break
 		}
@@ -236,7 +267,13 @@ func EvaluateUCQ(u query.UCQ, db *DB, prof *Profile) Answer {
 // EvaluateUCQParallel plans and runs a UCQ with its union arms spread
 // over worker goroutines through the parallel union operator.
 func EvaluateUCQParallel(u query.UCQ, db *DB, prof *Profile, workers int) Answer {
-	p := PlanUCQ(u, db, prof)
+	return ExecUCQPlanned(PlanUCQ(u, db, prof), db, prof, workers)
+}
+
+// ExecUCQPlanned runs an already planned UCQ through the streaming
+// pipeline and decodes the result — the execution half of
+// EvaluateUCQParallel, reusable when the plan is cached.
+func ExecUCQPlanned(p UCQPlan, db *DB, prof *Profile, workers int) Answer {
 	r := Drain(CompileUCQ(p, db, prof, workers))
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
@@ -246,17 +283,22 @@ func EvaluateJUCQ(j query.JUCQ, db *DB, prof *Profile) Answer {
 	return EvaluateJUCQParallel(j, db, prof, 1)
 }
 
-// EvaluateJUCQParallel plans and runs a JUCQ, evaluating each
-// fragment's union arms over worker goroutines (workers <= 1 keeps the
+// EvaluateJUCQParallel plans and runs a JUCQ through the streaming
+// cover pipeline: fragment pipelines feed the streaming hash join, and
+// the worker budget is split between the join's parallel build drain
+// and the fragments' parallel unions (workers <= 1 keeps the fully
 // sequential pipeline); observed cardinalities flow into prof.Feedback
 // when enabled.
 func EvaluateJUCQParallel(j query.JUCQ, db *DB, prof *Profile, workers int) Answer {
 	p := PlanJUCQ(j, db, prof)
-	frags := make([]*Relation, len(p.Frags))
-	for i := range p.Frags {
-		frags[i] = Drain(CompileUCQ(p.Frags[i], db, prof, workers))
-	}
-	r := JoinAndProject(frags, p.J.Head, db)
+	return ExecJUCQPlanned(p, db, prof, workers)
+}
+
+// ExecJUCQPlanned runs an already planned JUCQ through the streaming
+// cover pipeline and decodes the result — the execution half of
+// EvaluateJUCQParallel, reusable when the plan is cached.
+func ExecJUCQPlanned(p JUCQPlan, db *DB, prof *Profile, workers int) Answer {
+	r := Drain(CompileJUCQ(p, db, prof, workers))
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }
 

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"runtime"
 	"sync"
 )
 
@@ -28,16 +27,11 @@ type unionParallelOp struct {
 }
 
 // NewUnionParallel builds a parallel union over children with up to
-// workers goroutines (capped at GOMAXPROCS and at len(children)). With
-// workers <= 1 or fewer than two children, it degrades to the
-// sequential union.
+// workers goroutines (the shared clampWorkers budget: capped at
+// GOMAXPROCS and at len(children)). With workers <= 1 or fewer than
+// two children, it degrades to the sequential union.
 func NewUnionParallel(schema []string, children []Operator, workers int) Operator {
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(children) {
-		workers = len(children)
-	}
+	workers = clampWorkers(workers, len(children))
 	if workers <= 1 || len(children) <= 1 {
 		return newUnion(schema, children)
 	}

@@ -125,14 +125,25 @@ func PlanJUSCQ(j query.JUSCQ, db *DB, prof *Profile) JUSCQPlan {
 	return jp
 }
 
-// ExecJUSCQ evaluates a planned JUSCQ: materialize each USCQ fragment,
-// join smallest-first, project the head with DISTINCT.
+// ExecJUSCQ evaluates a planned JUSCQ through the streaming cover
+// pipeline: factorized fragment pipelines feed the streaming hash join
+// — no fragment Relation is materialized.
 func ExecJUSCQ(plan JUSCQPlan, db *DB) *Relation {
+	return Drain(CompileJUSCQ(plan, db, nil, 1))
+}
+
+// ExecJUSCQMaterialized is the pre-streaming cover path, kept as the
+// differential-testing oracle and benchmark baseline: materialize each
+// USCQ fragment, join smallest-first (plan estimates breaking ties),
+// project the head with DISTINCT.
+func ExecJUSCQMaterialized(plan JUSCQPlan, db *DB) *Relation {
 	frags := make([]*Relation, len(plan.Frags))
+	ests := make([]float64, len(plan.Frags))
 	for i := range plan.Frags {
 		frags[i] = ExecUSCQ(plan.Frags[i], db)
+		ests[i] = plan.Frags[i].EstCard
 	}
-	return JoinAndProject(frags, plan.J.Head, db)
+	return JoinAndProjectEst(frags, ests, plan.J.Head, db)
 }
 
 // EvaluateUSCQ plans and runs a USCQ; observed cardinalities flow into
@@ -158,19 +169,31 @@ func EvaluateJUSCQ(j query.JUSCQ, db *DB, prof *Profile) Answer {
 	return EvaluateJUSCQParallel(j, db, prof, 1)
 }
 
-// EvaluateJUSCQParallel plans and runs a JUSCQ, evaluating each
-// fragment's disjuncts over worker goroutines (workers <= 1 keeps the
-// sequential pipeline).
+// EvaluateJUSCQParallel plans and runs a JUSCQ through the streaming
+// cover pipeline: factorized fragment pipelines feed the streaming
+// hash join, with the worker budget split between the join's parallel
+// build drain and the fragments' parallel unions (workers <= 1 keeps
+// the fully sequential pipeline).
 func EvaluateJUSCQParallel(j query.JUSCQ, db *DB, prof *Profile, workers int) Answer {
 	p := PlanJUSCQ(j, db, prof)
-	frags := make([]*Relation, len(p.Frags))
-	for i := range p.Frags {
-		fr := &Relation{}
-		if len(p.Frags[i].Plans) > 0 {
-			fr = Drain(CompileUSCQ(p.Frags[i], db, prof, workers))
-		}
-		frags[i] = fr
+	return ExecJUSCQPlanned(p, db, prof, workers)
+}
+
+// ExecJUSCQPlanned runs an already planned JUSCQ through the streaming
+// cover pipeline and decodes the result — the execution half of
+// EvaluateJUSCQParallel, reusable when the plan is cached.
+func ExecJUSCQPlanned(p JUSCQPlan, db *DB, prof *Profile, workers int) Answer {
+	r := Drain(CompileJUSCQ(p, db, prof, workers))
+	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
+}
+
+// ExecUSCQPlanned runs an already planned USCQ through the streaming
+// pipeline and decodes the result (the single-fragment cover fast
+// path, reusable when the plan is cached).
+func ExecUSCQPlanned(p USCQPlan, db *DB, prof *Profile, workers int) Answer {
+	r := &Relation{}
+	if len(p.Plans) > 0 {
+		r = Drain(CompileUSCQ(p, db, prof, workers))
 	}
-	r := JoinAndProject(frags, p.J.Head, db)
 	return Answer{Tuples: r.Decode(db.Dict), EstCost: p.EstCost}
 }

@@ -258,7 +258,7 @@ func TestStrategiesMatchMaterializedOnLUBM(t *testing.T) {
 // certain answers.
 func TestParallelAnswererMatchesSequential(t *testing.T) {
 	env := smallEnv(t, engine.LayoutSimple, engine.ProfilePostgres())
-	par := *env.A
+	par := core.New(env.TBox, env.DB, env.Profile)
 	par.Workers = 4
 	for _, q := range lubm.Queries()[:6] {
 		seq, err := env.A.Answer(q, core.StrategyUCQ)

@@ -51,7 +51,7 @@ func EquivalentUnderTBox(q1, q2 query.CQ, r *Reformulator) (bool, error) {
 // removed. Results are memoized separately from Reformulate.
 func (r *Reformulator) ReformulateMinimal(q query.CQ) (query.UCQ, error) {
 	key := "min//" + memoKey(q)
-	if u, ok := r.memo[key]; ok {
+	if u, ok := r.memoGet(key); ok {
 		return u, nil
 	}
 	u, err := r.Reformulate(q)
@@ -59,6 +59,6 @@ func (r *Reformulator) ReformulateMinimal(q query.CQ) (query.UCQ, error) {
 		return query.UCQ{}, err
 	}
 	m := u.Minimize()
-	r.memo[key] = m
+	r.memoPut(key, m)
 	return m, nil
 }

@@ -8,6 +8,7 @@ package reformulate
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/dllite"
 	"repro/internal/query"
@@ -21,7 +22,10 @@ const DefaultMaxQueries = 200000
 // Reformulator compiles DL-LiteR TBox constraints into queries. It
 // pre-indexes the positive axioms by their right-hand side, so a single
 // Reformulator should be reused across queries over the same TBox.
-// Reformulator is not safe for concurrent use (it memoizes internally).
+// Reformulator is safe for concurrent use: the axiom indexes are
+// read-only after New, and the internal memo is mutex-guarded (two
+// goroutines may redundantly reformulate the same fresh query; the
+// results are identical and one wins the memo slot).
 type Reformulator struct {
 	T          *dllite.TBox
 	MaxQueries int
@@ -30,7 +34,23 @@ type Reformulator struct {
 	existsRHS  map[roleKey][]dllite.Axiom // B ⊑ ∃R(⁻), indexed by R(⁻)
 	roleRHS    map[string][]dllite.Axiom  // R1 ⊑ R2(⁻), indexed by name(R2)
 
+	mu   sync.Mutex
 	memo map[string]query.UCQ // canonical CQ key -> reformulation
+}
+
+// memoGet looks up a memoized reformulation under the mutex.
+func (r *Reformulator) memoGet(key string) (query.UCQ, bool) {
+	r.mu.Lock()
+	u, ok := r.memo[key]
+	r.mu.Unlock()
+	return u, ok
+}
+
+// memoPut stores a memoized reformulation under the mutex.
+func (r *Reformulator) memoPut(key string, u query.UCQ) {
+	r.mu.Lock()
+	r.memo[key] = u
+	r.mu.Unlock()
 }
 
 type roleKey struct {
@@ -74,14 +94,14 @@ func New(t *dllite.TBox) *Reformulator {
 // with different variable names must not share a memo entry.
 func (r *Reformulator) Reformulate(q query.CQ) (query.UCQ, error) {
 	key := memoKey(q)
-	if u, ok := r.memo[key]; ok {
+	if u, ok := r.memoGet(key); ok {
 		return u, nil
 	}
 	u, err := r.reformulate(q)
 	if err != nil {
 		return query.UCQ{}, err
 	}
-	r.memo[key] = u
+	r.memoPut(key, u)
 	return u, nil
 }
 

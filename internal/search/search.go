@@ -7,6 +7,7 @@
 package search
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/cost"
@@ -76,12 +77,64 @@ type Options struct {
 	// MaxCovers caps EDL enumeration (the paper stops A6 at 20003
 	// generalized covers). 0 = unlimited.
 	MaxCovers int
+	// Memo, when non-nil, carries cover cost estimates across searches:
+	// repeated GDL/EDL runs over the same query (server traffic) skip
+	// reformulating and re-costing covers already explored. Estimates
+	// served from the memo do not count toward ExploredLq/ExploredGq
+	// (nothing was estimated anew).
+	Memo *Memo
 }
 
-// evaluator memoizes cover cost estimates within one search.
+// Memo is a concurrency-safe cross-search cache of cover cost
+// estimates, keyed by (cover key, estimator name). It must be dropped
+// when the TBox, the data, or the estimator's statistics change — the
+// Answerer ties its lifetime to the answer cache's versioned keys.
+type Memo struct {
+	mu sync.Mutex
+	m  map[memoKey]memoEntry
+}
+
+type memoKey struct {
+	cover string
+	est   string
+}
+
+type memoEntry struct {
+	cost float64
+	jucq query.JUCQ
+}
+
+// NewMemo returns an empty cross-search estimate cache.
+func NewMemo() *Memo {
+	return &Memo{m: make(map[memoKey]memoEntry)}
+}
+
+// Len returns the number of memoized estimates.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+func (m *Memo) get(cover, est string) (memoEntry, bool) {
+	m.mu.Lock()
+	e, ok := m.m[memoKey{cover, est}]
+	m.mu.Unlock()
+	return e, ok
+}
+
+func (m *Memo) put(cover, est string, e memoEntry) {
+	m.mu.Lock()
+	m.m[memoKey{cover, est}] = e
+	m.mu.Unlock()
+}
+
+// evaluator memoizes cover cost estimates within one search, and
+// through Options.Memo across searches.
 type evaluator struct {
 	ref   *reformulate.Reformulator
 	est   Estimator
+	memo  *Memo
 	seen  map[string]float64
 	jucqs map[string]query.JUCQ
 	lq    int
@@ -89,16 +142,23 @@ type evaluator struct {
 	err   error
 }
 
-func newEvaluator(ref *reformulate.Reformulator, est Estimator) *evaluator {
-	return &evaluator{ref: ref, est: est, seen: make(map[string]float64), jucqs: make(map[string]query.JUCQ)}
+func newEvaluator(ref *reformulate.Reformulator, est Estimator, memo *Memo) *evaluator {
+	return &evaluator{ref: ref, est: est, memo: memo, seen: make(map[string]float64), jucqs: make(map[string]query.JUCQ)}
 }
 
 // estimate returns the cover's cost, reformulating its fragments if the
-// cover has not been seen before.
+// cover has not been seen before (in this search or in the shared memo).
 func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
 	key := c.Key()
 	if v, ok := ev.seen[key]; ok {
 		return v, true
+	}
+	if ev.memo != nil {
+		if e, ok := ev.memo.get(key, ev.est.Name()); ok {
+			ev.seen[key] = e.cost
+			ev.jucqs[key] = e.jucq
+			return e.cost, true
+		}
 	}
 	j, err := c.ReformulateJUCQ(ev.ref)
 	if err != nil {
@@ -108,6 +168,9 @@ func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
 	v := ev.est.EstimateJUCQ(j)
 	ev.seen[key] = v
 	ev.jucqs[key] = j
+	if ev.memo != nil {
+		ev.memo.put(key, ev.est.Name(), memoEntry{cost: v, jucq: j})
+	}
 	if c.IsGeneralized() {
 		ev.gq++
 	} else {
@@ -126,7 +189,7 @@ func GDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimato
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
 	}
-	ev := newEvaluator(ref, est)
+	ev := newEvaluator(ref, est, opts.Memo)
 	cur := cover.RootCover(q, t)
 	curCost, ok := ev.estimate(cur)
 	if !ok {
@@ -227,7 +290,7 @@ func fragmentConnectedTo(c cover.Cover, i, a int) bool {
 // paper observes (Table 6), this is only feasible for small queries.
 func EDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimator, opts Options) Result {
 	start := time.Now()
-	ev := newEvaluator(ref, est)
+	ev := newEvaluator(ref, est, opts.Memo)
 	var best cover.Cover
 	bestCost := -1.0
 	cover.EnumerateGeneralizedCovers(q, t, opts.MaxCovers, func(c cover.Cover) bool {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -22,9 +23,11 @@ import (
 	"repro/internal/query"
 )
 
-// Server handles OBDA requests over one Answerer. The Answerer's
-// Reformulator memoizes across requests; a mutex serializes query
-// answering since the Reformulator is not concurrency-safe.
+// Server handles OBDA requests over one Answerer. Answer is safe for
+// concurrent use, so requests run concurrently up to GOMAXPROCS; the
+// semaphore only bounds how many evaluations compete for CPU at once.
+// Hot queries hit the Answerer's plan cache and skip straight to
+// evaluation.
 type Server struct {
 	A   *core.Answerer
 	mux *http.ServeMux
@@ -33,7 +36,7 @@ type Server struct {
 
 // New builds the HTTP server around an Answerer.
 func New(a *core.Answerer) *Server {
-	s := &Server{A: a, mux: http.NewServeMux(), sem: make(chan struct{}, 1)}
+	s := &Server{A: a, mux: http.NewServeMux(), sem: make(chan struct{}, runtime.GOMAXPROCS(0))}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /consistency", s.handleConsistency)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -60,6 +63,7 @@ type QueryResponse struct {
 	SearchMs  float64    `json:"searchMs"`
 	EvalMs    float64    `json:"evalMs"`
 	Cover     string     `json:"cover"`
+	CacheHit  bool       `json:"cacheHit"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -98,6 +102,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SearchMs:  ms(res.SearchTime),
 		EvalMs:    ms(res.EvalTime),
 		Cover:     res.Cover.String(),
+		CacheHit:  res.CacheHit,
 	})
 }
 

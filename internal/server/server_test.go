@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -172,9 +173,9 @@ func TestStrategiesEndpoint(t *testing.T) {
 	}
 }
 
-// TestConcurrentQueries: the server serializes answering internally;
-// concurrent clients must all succeed (the Reformulator is not
-// concurrency-safe, so this guards the semaphore).
+// TestConcurrentQueries: Answer is safe for concurrent use, so requests
+// run in parallel up to GOMAXPROCS; concurrent clients must all
+// succeed.
 func TestConcurrentQueries(t *testing.T) {
 	srv := testServer(t)
 	var wg sync.WaitGroup
@@ -199,6 +200,80 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentAnswerMixedStrategies drives concurrent Answerer.Answer
+// calls through the HTTP server across every strategy, with parallel
+// evaluation workers, cardinality feedback, and the plan cache all
+// active — the shared state the race detector must find clean: the
+// Reformulator's memo, the search memo, the answer cache, the DB's lazy
+// statistics, the TBox dependency index, and the feedback sink.
+func TestConcurrentAnswerMixedStrategies(t *testing.T) {
+	tb := dllite.MustParseTBox(`
+PhDStudent <= Researcher
+role: supervisedBy <= worksWith
+exists supervisedBy <= PhDStudent
+exists supervisedBy- <= Researcher
+worksWith <= worksWith-
+`)
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox(`
+worksWith(Ioana, Francois)
+supervisedBy(Damian, Ioana)
+supervisedBy(Eva, Francois)
+`))
+	prof := engine.ProfilePostgres()
+	prof.Feedback = engine.NewCardFeedback()
+	a := core.New(tb, db, prof)
+	a.Workers = 4
+	srv := httptest.NewServer(New(a))
+	defer srv.Close()
+
+	queries := []string{
+		"q(x) <- PhDStudent(x), worksWith(y, x)",
+		"q(x) <- Researcher(x)",
+		"q(x, y) <- supervisedBy(x, y), Researcher(y)",
+	}
+	strategies := []core.Strategy{
+		core.StrategyUCQ, core.StrategyUSCQ, core.StrategyCroot,
+		core.StrategyGDLRDBMS, core.StrategyGDLExt,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		q, s := queries[i%len(queries)], strategies[i%len(strategies)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(QueryRequest{Query: q, Strategy: string(s)})
+			resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s/%s: status %d", q, s, resp.StatusCode)
+				return
+			}
+			if len(out.Answers) == 0 {
+				errs <- fmt.Errorf("%s/%s: empty answers", q, s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if hits, misses := a.Cache.Stats(); hits+misses != 64 || misses < uint64(len(queries)) {
+		t.Errorf("cache stats hits=%d misses=%d over 64 requests", hits, misses)
 	}
 }
 
