@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ntriples"
 	"repro/internal/query"
+	"repro/internal/sqlexec"
 	"repro/internal/sqlgen"
 )
 
@@ -64,7 +65,9 @@ func main() {
 	fatal(err)
 
 	a := core.New(tb, db, prof)
-	a.ViaSQL = *viaSQL
+	if *viaSQL {
+		a.Backend = sqlexec.NewBackend(db, prof)
+	}
 	if *consistency {
 		violations, err := a.CheckConsistency()
 		fatal(err)
@@ -93,7 +96,9 @@ func main() {
 			fmt.Printf("explored:   %d Lq + %d Gq covers\n",
 				res.Search.ExploredLq, res.Search.ExploredGq)
 		}
-		fmt.Println(engine.PlanJUCQ(res.JUCQ, db, prof))
+		if res.Explain != nil {
+			fmt.Print(res.Explain.Text())
+		}
 	}
 	if *showSQL {
 		fmt.Println(sqlgen.JUCQ(res.JUCQ, sqlgen.Options{Layout: layout, Pretty: true}))

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dllite"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/sqlexec"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		profileName = flag.String("profile", "postgres", "engine profile: postgres or db2")
 		layoutName  = flag.String("layout", "simple", "data layout: simple or rdf")
+		backendName = flag.String("backend", "native", "execution backend: native (streaming engine) or sql (execute the generated SQL text; simple layout only)")
 	)
 	flag.Parse()
 	if *tboxPath == "" || *aboxPath == "" {
@@ -61,9 +63,21 @@ func main() {
 	}
 	db := engine.NewDB(layout)
 	db.LoadABox(ab)
-	log.Printf("obdaserver: %d facts, %d axioms, %s, %s profile, listening on %s",
-		db.NumFacts(), tb.NumConstraints(), layout, prof.Name, *addr)
-	srv := server.New(core.New(tb, db, prof))
+	a := core.New(tb, db, prof)
+	switch strings.ToLower(*backendName) {
+	case "", "native":
+		a.Backend = engine.NewBackend(db, prof)
+	case "sql":
+		if layout != engine.LayoutSimple {
+			fatal(fmt.Errorf("the sql backend requires -layout simple"))
+		}
+		a.Backend = sqlexec.NewBackend(db, prof)
+	default:
+		fatal(fmt.Errorf("unknown backend %q (valid: native, sql)", *backendName))
+	}
+	log.Printf("obdaserver: %d facts, %d axioms, %s, %s profile, %s backend, listening on %s",
+		db.NumFacts(), tb.NumConstraints(), layout, prof.Name, a.Backend.Name(), *addr)
+	srv := server.New(a)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

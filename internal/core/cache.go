@@ -19,7 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cover"
-	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -33,14 +33,14 @@ type cacheKey struct {
 	strategy Strategy
 	tboxVer  uint64
 	dataVer  uint64
-	viaSQL   bool // ViaSQL plans differ (whole-statement JUCQ plan)
+	backend  string // executables are backend-specific
 }
 
 // cachedPlan is the reusable front half of one Answer call: the chosen
-// cover, its reformulation, the generated SQL, and the engine plans
-// compiled from it. Operator trees are rebuilt per execution (they are
-// single-consumer and stateful); the plans they compile from are
-// immutable and shared.
+// cover, its reformulation, the generated SQL, the logical plan it
+// lowered into, and the backend executable compiled from that plan.
+// The IR and the executable are immutable/concurrency-safe; physical
+// state is rebuilt inside every Run.
 type cachedPlan struct {
 	cover        cover.Cover
 	numFragments int
@@ -49,15 +49,10 @@ type cachedPlan struct {
 
 	searchTime time.Duration // the original search cost, reported once
 
-	// Exactly one of the following plan groups is populated, mirroring
-	// the execution dispatch in Answer.
-	jucq     query.JUCQ
-	ucqPlan  *engine.UCQPlan  // single-fragment JUCQ fast path
-	jucqPlan *engine.JUCQPlan // multi-fragment JUCQ
+	jucq query.JUCQ // the JUCQ reformulation (zero for USCQ strategies)
 
-	juscq     query.JUSCQ
-	uscqPlan  *engine.USCQPlan  // single-fragment USCQ fast path
-	juscqPlan *engine.JUSCQPlan // multi-fragment USCQ
+	ir   *plan.Node      // the logical plan every backend compiles
+	exec plan.Executable // compiled for the backend in the cache key
 }
 
 // AnswerCache is a concurrency-safe LRU of cachedPlans.

@@ -27,10 +27,10 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dllite"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/reformulate"
 	"repro/internal/search"
-	"repro/internal/sqlexec"
 	"repro/internal/sqlgen"
 )
 
@@ -54,6 +54,38 @@ func Strategies() []Strategy {
 	return []Strategy{StrategyUCQ, StrategyUCQMin, StrategyUSCQ, StrategyCroot, StrategyGDLRDBMS, StrategyGDLExt, StrategyEDL}
 }
 
+// ValidStrategy reports whether s is one of Strategies().
+func ValidStrategy(s Strategy) bool {
+	for _, v := range Strategies() {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Description is the one-line summary of the strategy (served by
+// GET /strategies).
+func (s Strategy) Description() string {
+	switch s {
+	case StrategyUCQ:
+		return "standard CQ-to-UCQ reformulation evaluated directly (single-fragment cover)"
+	case StrategyUCQMin:
+		return "containment-minimized UCQ reformulation (§2.3)"
+	case StrategyUSCQ:
+		return "factorized CQ-to-USCQ reformulation (semi-conjunctive disjuncts)"
+	case StrategyCroot:
+		return "JUCQ induced by the root cover (Definition 6), no search"
+	case StrategyGDLRDBMS:
+		return "greedy cover search costed by the engine's own estimation"
+	case StrategyGDLExt:
+		return "greedy cover search costed by the external model ε"
+	case StrategyEDL:
+		return "exhaustive cover search (small queries only)"
+	}
+	return ""
+}
+
 // Answerer answers conjunctive queries over a KB through the engine.
 // Answer is safe for concurrent use: the reformulator, the caches, the
 // profile's feedback sink, and the engine's statistics are all
@@ -67,18 +99,20 @@ type Answerer struct {
 	Model      *cost.Model
 	SearchOpts search.Options
 
-	// ViaSQL routes evaluation through the SQL text itself (parse with
-	// sqlexec, execute the parsed statement) instead of the engine's
-	// native plans — exactly what shipping the reformulation to a real
-	// RDBMS does. Only supported on the simple layout.
-	ViaSQL bool
+	// Backend compiles and executes the logical plans every strategy
+	// lowers into. nil selects the native streaming engine;
+	// sqlexec.NewBackend routes evaluation through the SQL text itself
+	// (what shipping the reformulation to a real RDBMS does —
+	// formerly the ViaSQL switch). The backend's Name keys the answer
+	// cache, so swapping backends never serves a stale executable.
+	Backend plan.Backend
 
 	// Workers > 1 spreads evaluation over that many worker goroutines
 	// (capped at GOMAXPROCS): union arms through the parallel union
 	// operator, and the build sides of multi-fragment cover plans
 	// through the streaming hash join's parallel build drain. Zero or
 	// one keeps the fully sequential pipeline, matching the paper's
-	// single-threaded engines. Ignored by ViaSQL.
+	// single-threaded engines. The SQL backend ignores it.
 	Workers int
 
 	// Cache, when non-nil, memoizes the front half of Answer (cover
@@ -137,6 +171,15 @@ func (a *Answerer) searchOpts() search.Options {
 	return opts
 }
 
+// backend returns the configured execution backend, defaulting to the
+// native streaming engine.
+func (a *Answerer) backend() plan.Backend {
+	if a.Backend != nil {
+		return a.Backend
+	}
+	return engine.NewBackend(a.DB, a.Profile)
+}
+
 // currentMemo returns the cross-search estimate memo for the current
 // TBox/data versions, dropping stale ones.
 func (a *Answerer) currentMemo() *search.Memo {
@@ -161,6 +204,14 @@ type Result struct {
 	JUCQ         query.JUCQ
 	NumDisjuncts int // total CQs across fragments
 	NumFragments int
+
+	// Plan is the logical plan the strategy lowered into — the tree
+	// the backend compiled and executed (shared with the cache; do
+	// not mutate).
+	Plan *plan.Node
+	// Explain annotates Plan with the backend's estimates and the
+	// actual per-operator row counters of this execution.
+	Explain *plan.Explain
 
 	SQL     string
 	SQLSize int
@@ -192,7 +243,7 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 			strategy: s,
 			tboxVer:  a.tboxVer.Load(),
 			dataVer:  a.DB.Version(),
-			viaSQL:   a.ViaSQL,
+			backend:  a.backend().Name(),
 		}
 		if cp, ok := a.Cache.get(key); ok {
 			res.CacheHit = true
@@ -257,92 +308,63 @@ func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, 
 		if err != nil {
 			return nil, err
 		}
-		cp.juscq = js
 		for _, sub := range js.Subs {
 			cp.numDisjuncts += len(sub.Disjuncts)
 		}
 		cp.sql = sqlgen.JUSCQ(js, sqlgen.Options{Layout: a.DB.Layout})
-		if len(js.Subs) == 1 {
-			up := engine.PlanUSCQ(js.Subs[0], a.DB, a.Profile)
-			cp.uscqPlan = &up
-		} else {
-			jp := engine.PlanJUSCQ(js, a.DB, a.Profile)
-			cp.juscqPlan = &jp
-		}
-		return cp, nil
-	}
-
-	j, err := c.ReformulateJUCQ(a.Ref)
-	if err != nil {
-		return nil, err
-	}
-	if s == StrategyUCQMin {
-		// §2.3: evaluate the containment-minimized UCQ instead.
-		m, err := a.Ref.ReformulateMinimal(q)
+		cp.ir = plan.FromJUSCQ(js)
+	} else {
+		j, err := c.ReformulateJUCQ(a.Ref)
 		if err != nil {
 			return nil, err
 		}
-		j.Subs = []query.UCQ{m}
+		if s == StrategyUCQMin {
+			// §2.3: evaluate the containment-minimized UCQ instead.
+			m, err := a.Ref.ReformulateMinimal(q)
+			if err != nil {
+				return nil, err
+			}
+			j.Subs = []query.UCQ{m}
+		}
+		cp.jucq = j
+		for _, sub := range j.Subs {
+			cp.numDisjuncts += len(sub.Disjuncts)
+		}
+		cp.sql = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
+		cp.ir = plan.FromJUCQ(j)
 	}
-	cp.jucq = j
-	for _, sub := range j.Subs {
-		cp.numDisjuncts += len(sub.Disjuncts)
+	exec, err := a.backend().Compile(cp.ir)
+	if err != nil {
+		return nil, err
 	}
-	cp.sql = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
-	switch {
-	case a.ViaSQL:
-		// ViaSQL reports the whole statement's estimated cost.
-		jp := engine.PlanJUCQ(j, a.DB, a.Profile)
-		cp.jucqPlan = &jp
-	case len(j.Subs) == 1:
-		// Single fragment: evaluate the UCQ directly (no WITH needed).
-		up := engine.PlanUCQ(j.Subs[0], a.DB, a.Profile)
-		cp.ucqPlan = &up
-	default:
-		jp := engine.PlanJUCQ(j, a.DB, a.Profile)
-		cp.jucqPlan = &jp
-	}
+	cp.exec = exec
 	return cp, nil
 }
 
-// execute runs a (possibly cached) plan: enforce the profile's statement
-// limit, evaluate through the engine (or sqlexec for ViaSQL), and fill
-// in the result.
+// execute runs a (possibly cached) plan: enforce the profile's
+// statement limit, run the compiled executable on the configured
+// backend, and fill in the result (tuples, estimate, EXPLAIN).
 func (a *Answerer) execute(cp *cachedPlan, res *Result) (*Result, error) {
 	res.Cover = cp.cover
 	res.NumFragments = cp.numFragments
 	res.NumDisjuncts = cp.numDisjuncts
 	res.JUCQ = cp.jucq
+	res.Plan = cp.ir
 	res.SQL = cp.sql
 	res.SQLSize = len(cp.sql)
 	if err := a.Profile.CheckStatementSize(res.SQLSize); err != nil {
 		return res, err
 	}
+	est := cp.exec.Estimate()
 	start := time.Now()
-	if a.ViaSQL && cp.jucqPlan != nil && cp.uscqPlan == nil && cp.juscqPlan == nil {
-		rel, err := sqlexec.Exec(cp.sql, a.DB)
-		if err != nil {
-			return res, err
-		}
-		res.EvalTime = time.Since(start)
-		res.Tuples = rel.Decode(a.DB.Dict)
-		res.EstCost = cp.jucqPlan.EstCost
-		return res, nil
-	}
-	var ans engine.Answer
-	switch {
-	case cp.ucqPlan != nil:
-		ans = engine.ExecUCQPlanned(*cp.ucqPlan, a.DB, a.Profile, a.Workers)
-	case cp.jucqPlan != nil:
-		ans = engine.ExecJUCQPlanned(*cp.jucqPlan, a.DB, a.Profile, a.Workers)
-	case cp.uscqPlan != nil:
-		ans = engine.ExecUSCQPlanned(*cp.uscqPlan, a.DB, a.Profile, a.Workers)
-	default:
-		ans = engine.ExecJUSCQPlanned(*cp.juscqPlan, a.DB, a.Profile, a.Workers)
+	rr, err := cp.exec.Run(a.Workers)
+	if err != nil {
+		return res, err
 	}
 	res.EvalTime = time.Since(start)
-	res.Tuples = ans.Tuples
-	res.EstCost = ans.EstCost
+	res.Tuples = rr.Tuples
+	res.EstCost = est.Cost
+	res.Explain = rr.Explain
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lubm"
 	"repro/internal/query"
+	"repro/internal/sqlexec"
 )
 
 // TestViaSQLMatchesNative: routing evaluation through the generated SQL
@@ -16,7 +17,7 @@ func TestViaSQLMatchesNative(t *testing.T) {
 	q := query.MustParseCQ("q(x) <- PhDStudent(x), worksWith(y, x)")
 	native := answerer(t, engine.LayoutSimple, engine.ProfilePostgres())
 	sqlPath := answerer(t, engine.LayoutSimple, engine.ProfilePostgres())
-	sqlPath.ViaSQL = true
+	sqlPath.Backend = sqlexec.NewBackend(sqlPath.DB, sqlPath.Profile)
 	for _, s := range []Strategy{StrategyUCQ, StrategyCroot, StrategyGDLExt} {
 		rn, err := native.Answer(q, s)
 		if err != nil {
@@ -50,7 +51,7 @@ func TestViaSQLWorkload(t *testing.T) {
 	db.Finalize()
 	native := New(tb, db, engine.ProfilePostgres())
 	viaSQL := New(tb, db, engine.ProfilePostgres())
-	viaSQL.ViaSQL = true
+	viaSQL.Backend = sqlexec.NewBackend(viaSQL.DB, viaSQL.Profile)
 	for _, q := range lubm.Queries() {
 		rn, err := native.Answer(q, StrategyCroot)
 		if err != nil {

@@ -12,9 +12,11 @@
 package cost
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -291,4 +293,27 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// Estimate scores a logical plan tree by extracting it back into its
+// dialect and applying the matching formula — the same ε figures the
+// search obtains on JUCQs, now reachable from any plan.Node. A
+// malformed tree costs +Inf (search treats it as "never pick this").
+func (m *Model) Estimate(n *plan.Node) plan.Estimate {
+	lo, err := plan.Extract(n)
+	if err != nil {
+		return plan.Estimate{Cost: math.Inf(1)}
+	}
+	var e Estimate
+	switch lo.Kind {
+	case plan.KindUCQ:
+		e = m.UCQ(lo.UCQ)
+	case plan.KindUSCQ:
+		e = m.USCQ(lo.USCQ)
+	case plan.KindJUCQ:
+		e = m.JUCQ(lo.JUCQ)
+	default:
+		e = m.JUSCQ(lo.JUSCQ)
+	}
+	return plan.Estimate{Cost: e.Cost, Card: e.Card}
 }

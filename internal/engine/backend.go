@@ -1,0 +1,337 @@
+package engine
+
+// The native implementation of plan.Backend: logical plans extract
+// back into the dialect the planner understands (UCQ/USCQ or the
+// JUCQ/JUSCQ cover shapes), are costed by the profile's explain-style
+// estimation, and execute through the streaming operator pipeline.
+// Because operator trees are single-use, Compile freezes only the
+// immutable plans; each Run builds a fresh tree, drains it, and walks
+// it alongside the IR to report actual per-operator row counters in
+// the EXPLAIN annotation.
+
+import (
+	"math"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Backend runs logical plans on the in-process streaming engine.
+type Backend struct {
+	DB      *DB
+	Profile *Profile
+}
+
+// NewBackend wires the native backend over a database and profile.
+func NewBackend(db *DB, prof *Profile) *Backend { return &Backend{DB: db, Profile: prof} }
+
+// Name identifies the backend in cache keys and EXPLAIN output.
+func (b *Backend) Name() string { return "native" }
+
+// compiled is a lowered logical plan: exactly one of the plan groups
+// is set, mirroring the dialect the tree extracted into.
+type compiled struct {
+	b    *Backend
+	node *plan.Node
+	kind plan.Kind
+	est  plan.Estimate
+
+	ucq   *UCQPlan
+	uscq  *USCQPlan
+	jucq  *JUCQPlan
+	juscq *JUSCQPlan
+}
+
+// lower extracts the tree and plans it under the profile.
+func (b *Backend) lower(n *plan.Node) (*compiled, error) {
+	lo, err := plan.Extract(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiled{b: b, node: n, kind: lo.Kind}
+	switch lo.Kind {
+	case plan.KindUCQ:
+		p := PlanUCQ(lo.UCQ, b.DB, b.Profile)
+		c.ucq = &p
+		c.est = plan.Estimate{Cost: p.EstCost, Card: p.EstCard}
+	case plan.KindUSCQ:
+		p := PlanUSCQ(lo.USCQ, b.DB, b.Profile)
+		c.uscq = &p
+		c.est = plan.Estimate{Cost: p.EstCost, Card: p.EstCard}
+	case plan.KindJUCQ:
+		p := PlanJUCQ(lo.JUCQ, b.DB, b.Profile)
+		c.jucq = &p
+		c.est = plan.Estimate{Cost: p.EstCost, Card: p.EstCard}
+	default:
+		p := PlanJUSCQ(lo.JUSCQ, b.DB, b.Profile)
+		c.juscq = &p
+		c.est = plan.Estimate{Cost: p.EstCost, Card: p.EstCard}
+	}
+	return c, nil
+}
+
+// Compile lowers the plan into a reusable executable.
+func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) { return b.lower(n) }
+
+// Estimate scores the plan; malformed trees cost +Inf.
+func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
+	c, err := b.lower(n)
+	if err != nil {
+		return plan.Estimate{Cost: math.Inf(1)}
+	}
+	return c.est
+}
+
+// Estimate returns the compile-time estimate.
+func (c *compiled) Estimate() plan.Estimate { return c.est }
+
+// Run builds a fresh operator tree, drains it, and annotates the
+// EXPLAIN skeleton with the estimates frozen in the plans and the
+// actual row counters the operators observed.
+func (c *compiled) Run(workers int) (*plan.RunResult, error) {
+	db, prof := c.b.DB, c.b.Profile
+	root, at := plan.Skeleton(c.node)
+	ex := &plan.Explain{Backend: c.b.Name(), EstCost: c.est.Cost, EstCard: c.est.Card, Root: root}
+
+	var rel *Relation
+	switch c.kind {
+	case plan.KindUCQ:
+		if len(c.ucq.Plans) == 0 {
+			rel = &Relation{}
+			break
+		}
+		op := CompileUCQ(*c.ucq, db, prof, workers)
+		rel = Drain(op)
+		annotateUnionTree(op, c.node, at, c.ucq, nil)
+	case plan.KindUSCQ:
+		if len(c.uscq.Plans) == 0 {
+			rel = &Relation{}
+			break
+		}
+		op := CompileUSCQ(*c.uscq, db, prof, workers)
+		rel = Drain(op)
+		annotateUnionTree(op, c.node, at, nil, c.uscq)
+	case plan.KindJUCQ:
+		op, frags := c.buildCoverTree(workers)
+		rel = Drain(op)
+		c.annotateCoverTree(op, frags, at)
+	default:
+		op, frags := c.buildCoverTree(workers)
+		rel = Drain(op)
+		c.annotateCoverTree(op, frags, at)
+	}
+	return &plan.RunResult{Tuples: rel.Decode(db.Dict), Explain: ex}, nil
+}
+
+// buildCoverTree assembles the streaming cover pipeline exactly like
+// CompileJUCQ/CompileJUSCQ, but keeps the fragment roots in original
+// fragment order — the hash join reorders its children (probe first,
+// builds by size), which would scramle the IR mapping.
+func (c *compiled) buildCoverTree(workers int) (root Operator, frags []Operator) {
+	db, prof := c.b.DB, c.b.Profile
+	var n int
+	var head []string
+	var ests []float64
+	if c.kind == plan.KindJUCQ {
+		n = len(c.jucq.Frags)
+		head = headSchema(c.jucq.J.Head)
+	} else {
+		n = len(c.juscq.Frags)
+		head = headSchema(c.juscq.J.Head)
+	}
+	if n == 0 {
+		return newUnion(head, nil), nil
+	}
+	perFrag := coverWorkerSplit(workers, n)
+	frags = make([]Operator, n)
+	ests = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if c.kind == plan.KindJUCQ {
+			frags[i] = CompileUCQ(c.jucq.Frags[i], db, prof, perFrag)
+			ests[i] = c.jucq.Frags[i].EstCard
+		} else {
+			frags[i] = CompileUSCQ(c.juscq.Frags[i], db, prof, perFrag)
+			ests[i] = c.juscq.Frags[i].EstCard
+		}
+	}
+	var headTerms = c.coverHead()
+	if n == 1 {
+		return newDistinct(compileProjectNamed(frags[0], headTerms, db)), frags
+	}
+	probe, builds := coverJoinOrder(ests)
+	hj := NewHashJoin(frags, probe, builds, workers)
+	return newDistinct(compileProjectNamed(hj, headTerms, db)), frags
+}
+
+func (c *compiled) coverHead() []query.Term {
+	if c.kind == plan.KindJUCQ {
+		return c.jucq.J.Head
+	}
+	return c.juscq.J.Head
+}
+
+// annotateCoverTree maps the cover pipeline's counters onto the IR:
+// Distinct ← the root dedup, Project ← the head projection, Join ←
+// the hash join, and each fragment subtree ← its Distinct(Union(...))
+// pipeline.
+func (c *compiled) annotateCoverTree(op Operator, frags []Operator, at map[*plan.Node]*plan.ExplainNode) {
+	distinctIR := c.node
+	if distinctIR.Op != plan.OpDistinct || len(distinctIR.Inputs) != 1 {
+		return
+	}
+	projectIR := distinctIR.Inputs[0]
+	if projectIR.Op != plan.OpProject || len(projectIR.Inputs) != 1 {
+		return
+	}
+	joinIR := projectIR.Inputs[0]
+	setExplain(at[distinctIR], c.est.Card, c.est.Cost, op)
+	if kids := op.Children(); len(kids) == 1 {
+		projOp := kids[0]
+		setExplain(at[projectIR], c.est.Card, plan.UnknownRows, projOp)
+		if jk := projOp.Children(); len(jk) == 1 && len(frags) > 1 {
+			setExplain(at[joinIR], plan.UnknownRows, plan.UnknownRows, jk[0])
+		}
+	}
+	for i, fop := range frags {
+		if i >= len(joinIR.Inputs) {
+			break
+		}
+		if c.kind == plan.KindJUCQ {
+			annotateUnionTree(fop, joinIR.Inputs[i], at, &c.jucq.Frags[i], nil)
+		} else {
+			annotateUnionTree(fop, joinIR.Inputs[i], at, nil, &c.juscq.Frags[i])
+		}
+	}
+}
+
+// annotateUnionTree maps a Distinct(Union(arms)) pipeline onto its IR
+// subtree. Exactly one of up/sp is set (UCQ vs factorized USCQ).
+func annotateUnionTree(op Operator, n *plan.Node, at map[*plan.Node]*plan.ExplainNode, up *UCQPlan, sp *USCQPlan) {
+	if n.Op != plan.OpDistinct || len(n.Inputs) != 1 || n.Inputs[0].Op != plan.OpUnion {
+		return
+	}
+	unionIR := n.Inputs[0]
+	if up != nil {
+		setExplain(at[n], up.EstCard, up.EstCost, op)
+	} else {
+		setExplain(at[n], sp.EstCard, sp.EstCost, op)
+	}
+	kids := op.Children()
+	if len(kids) != 1 {
+		return
+	}
+	unionOp := kids[0]
+	setExplain(at[unionIR], plan.UnknownRows, plan.UnknownRows, unionOp)
+	arms := unionOp.Children()
+	for i, armOp := range arms {
+		if i >= len(unionIR.Inputs) {
+			break
+		}
+		if up != nil && i < len(up.Plans) {
+			annotateArm(armOp, unionIR.Inputs[i], at, armSteps(up.Plans[i]), up.Plans[i].EstCard, up.Plans[i].EstCost)
+		} else if sp != nil && i < len(sp.Plans) {
+			annotateArm(armOp, unionIR.Inputs[i], at, scqSteps(sp.Plans[i]), sp.Plans[i].EstCard, sp.Plans[i].EstCost)
+		}
+	}
+}
+
+// armStep pairs one pipeline position with the body index it resolves
+// and its planned output estimate (UnknownRows when the planner does
+// not cost steps individually, as for SCQ blocks).
+type armStep struct {
+	pos     int
+	estRows float64
+	estCost float64
+}
+
+func armSteps(p CQPlan) []armStep {
+	out := make([]armStep, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = armStep{pos: s.Atom, estRows: s.EstOut, estCost: s.EstCost}
+	}
+	return out
+}
+
+func scqSteps(p SCQPlan) []armStep {
+	out := make([]armStep, len(p.Order))
+	for i, b := range p.Order {
+		out[i] = armStep{pos: b, estRows: plan.UnknownRows, estCost: plan.UnknownRows}
+	}
+	return out
+}
+
+// annotateArm maps one arm pipeline (project over a scan/filter/join
+// chain) onto its IR projection. The chain below the projection holds
+// one operator per plan step, bottom-up: the leaf is step 0 when it
+// is a scan, or a synthetic singleton source (not a step) otherwise.
+func annotateArm(armOp Operator, armIR *plan.Node, at map[*plan.Node]*plan.ExplainNode, steps []armStep, estCard, estCost float64) {
+	if armIR.Op != plan.OpProject || len(armIR.Inputs) != 1 {
+		return
+	}
+	setExplain(at[armIR], estCard, estCost, armOp)
+	// Walk the single-child chain below the projection.
+	var chain []Operator
+	kids := armOp.Children()
+	for len(kids) == 1 {
+		chain = append(chain, kids[0])
+		kids = kids[0].Children()
+	}
+	if len(chain) == 0 {
+		return
+	}
+	if _, ok := chain[len(chain)-1].(*singletonOp); ok {
+		chain = chain[:len(chain)-1]
+	}
+	// chain is top-down; steps are bottom-up.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	byPos := make(map[int]*plan.ExplainNode)
+	for _, acc := range plan.AccessLeaves(armIR.Inputs[0]) {
+		byPos[acc.Pos] = at[acc]
+	}
+	var topRows int64 = plan.UnknownRows
+	var topEst float64 = plan.UnknownRows
+	for k, op := range chain {
+		if k >= len(steps) {
+			break
+		}
+		e := byPos[steps[k].pos]
+		if e == nil {
+			continue
+		}
+		setExplain(e, steps[k].estRows, steps[k].estCost, op)
+		topRows = op.Stats().Rows
+		topEst = steps[k].estRows
+	}
+	// Interior Join/SemiJoin nodes observe the rows flowing into the
+	// projection (the full body's output).
+	annotateBodyOps(armIR.Inputs[0], at, topEst, topRows)
+}
+
+// annotateBodyOps stamps the arm body's Join/SemiJoin nodes with the
+// body output figures.
+func annotateBodyOps(n *plan.Node, at map[*plan.Node]*plan.ExplainNode, estRows float64, rows int64) {
+	if n.Op != plan.OpJoin && n.Op != plan.OpSemiJoin {
+		return
+	}
+	if e := at[n]; e != nil {
+		e.EstRows = estRows
+		e.ActualRows = rows
+	}
+	for _, in := range n.Inputs {
+		annotateBodyOps(in, at, plan.UnknownRows, plan.UnknownRows)
+	}
+}
+
+// setExplain records one operator's estimate and observed row count.
+func setExplain(e *plan.ExplainNode, estRows, estCost float64, op Operator) {
+	if e == nil {
+		return
+	}
+	e.EstRows = estRows
+	e.EstCost = estCost
+	if op != nil {
+		e.ActualRows = op.Stats().Rows
+	}
+}

@@ -1,0 +1,43 @@
+package plan
+
+// Estimate is a backend's whole-plan cost and output-cardinality
+// prediction for one plan tree — the quantity the cover search
+// minimizes and EXPLAIN reports.
+type Estimate struct {
+	Cost float64
+	Card float64
+}
+
+// RunResult is one execution's output: decoded answer tuples plus the
+// annotated explanation (estimates frozen at compile time, actual
+// per-operator row counters observed during the run).
+type RunResult struct {
+	Tuples  [][]string
+	Explain *Explain
+}
+
+// Executable is a compiled plan, ready to run any number of times
+// against the backend's live data. Implementations must be safe for
+// concurrent Run calls — physical state is rebuilt per run.
+type Executable interface {
+	// Estimate returns the whole-plan estimate frozen at compile time.
+	Estimate() Estimate
+	// Run executes the plan with the given worker budget (<= 1 is
+	// fully sequential; backends may ignore the budget).
+	Run(workers int) (*RunResult, error)
+}
+
+// Backend turns logical plans into executables — the physical half of
+// the logical/physical split. The engine's native streaming-operator
+// pipeline and the sqlexec SQL-text path both implement it; selecting
+// a backend replaces the old ViaSQL switch.
+type Backend interface {
+	// Name identifies the backend (it keys answer-cache entries).
+	Name() string
+	// Compile lowers the plan into an executable.
+	Compile(n *Node) (Executable, error)
+	// Estimate scores the plan without compiling physical state; a
+	// malformed plan costs +Inf rather than erroring (search code
+	// treats it as "never pick this").
+	Estimate(n *Node) Estimate
+}

@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnknownRows marks an ExplainNode figure the backend could not
+// attribute (estimates for operators the planner does not cost
+// individually, actuals for operators with no physical counterpart).
+const UnknownRows = -1
+
+// ExplainNode annotates one plan operator with estimated and observed
+// figures. EstRows/EstCost/ActualRows are UnknownRows (-1) where no
+// figure applies; zero is a real observation.
+type ExplainNode struct {
+	Op         string         `json:"op"`
+	Detail     string         `json:"detail,omitempty"`
+	EstRows    float64        `json:"estRows"`
+	EstCost    float64        `json:"estCost"`
+	ActualRows int64          `json:"actualRows"`
+	Children   []*ExplainNode `json:"children,omitempty"`
+}
+
+// Explain is the full explanation of one executed (or estimated)
+// plan: which backend compiled it, the whole-plan estimate, the SQL
+// text when a SQL backend produced one, and the annotated operator
+// tree.
+type Explain struct {
+	Backend string       `json:"backend"`
+	EstCost float64      `json:"estCost"`
+	EstCard float64      `json:"estCard"`
+	SQL     string       `json:"sql,omitempty"`
+	Root    *ExplainNode `json:"root"`
+}
+
+// Skeleton mirrors the plan tree into an unannotated ExplainNode tree
+// (every figure UnknownRows), returning the node map backends use to
+// attach estimates and actual row counters.
+func Skeleton(n *Node) (*ExplainNode, map[*Node]*ExplainNode) {
+	at := make(map[*Node]*ExplainNode)
+	var build func(*Node) *ExplainNode
+	build = func(m *Node) *ExplainNode {
+		e := &ExplainNode{
+			Op:         m.Op.String(),
+			Detail:     m.Detail(),
+			EstRows:    UnknownRows,
+			EstCost:    UnknownRows,
+			ActualRows: UnknownRows,
+		}
+		at[m] = e
+		for _, in := range m.Inputs {
+			e.Children = append(e.Children, build(in))
+		}
+		return e
+	}
+	return build(n), at
+}
+
+// Text renders the explanation as an indented tree, EXPLAIN ANALYZE
+// style.
+func (e *Explain) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "backend=%s estCost=%s estCard=%s\n", e.Backend, num(e.EstCost), num(e.EstCard))
+	var walk func(n *ExplainNode, depth int)
+	walk = func(n *ExplainNode, depth int) {
+		label := n.Op
+		if n.Detail != "" {
+			label += " " + n.Detail
+		}
+		fmt.Fprintf(&b, "%s%-48s est=%-10s actual=%s\n",
+			strings.Repeat("  ", depth), label, num(n.EstRows), actual(n.ActualRows))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if e.Root != nil {
+		walk(e.Root, 0)
+	}
+	if e.SQL != "" {
+		b.WriteString("sql: " + e.SQL + "\n")
+	}
+	return b.String()
+}
+
+func num(v float64) string {
+	if v == UnknownRows {
+		return "-"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.1f", v), "0"), ".")
+}
+
+func actual(v int64) string {
+	if v == UnknownRows {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -14,18 +14,24 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dllite"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/reformulate"
 )
 
-// Estimator scores a candidate JUCQ reformulation.
+// Estimator scores a candidate logical plan. The search lowers every
+// cover's JUCQ reformulation into the plan IR and asks the estimator
+// to cost that tree — the very tree the execution backend compiles —
+// so the cost GDL assigns to the winning cover is the backend's
+// estimate of the plan that runs.
 type Estimator interface {
 	Name() string
-	EstimateJUCQ(j query.JUCQ) float64
+	Estimate(n *plan.Node) float64
 }
 
 // RDBMSEstimator uses the engine's per-profile plan costing — the
-// paper's "explain through JDBC" option.
+// paper's "explain through JDBC" option. It scores plans exactly as
+// the native execution backend does.
 type RDBMSEstimator struct {
 	DB      *engine.DB
 	Profile *engine.Profile
@@ -34,9 +40,15 @@ type RDBMSEstimator struct {
 // Name identifies the estimator in reports.
 func (e *RDBMSEstimator) Name() string { return "RDBMS(" + e.Profile.Name + ")" }
 
-// EstimateJUCQ plans the JUCQ under the profile and returns its cost.
+// Estimate plans the tree under the profile and returns its cost.
+func (e *RDBMSEstimator) Estimate(n *plan.Node) float64 {
+	return engine.NewBackend(e.DB, e.Profile).Estimate(n).Cost
+}
+
+// EstimateJUCQ scores a JUCQ by lowering it (compatibility shim for
+// callers that have not built a plan tree).
 func (e *RDBMSEstimator) EstimateJUCQ(j query.JUCQ) float64 {
-	return engine.PlanJUCQ(j, e.DB, e.Profile).EstCost
+	return e.Estimate(plan.FromJUCQ(j))
 }
 
 // ExtEstimator uses the external cost model (package cost).
@@ -47,9 +59,15 @@ type ExtEstimator struct {
 // Name identifies the estimator in reports.
 func (e *ExtEstimator) Name() string { return "ext" }
 
-// EstimateJUCQ applies the textbook formulas.
+// Estimate applies the textbook formulas to the plan tree.
+func (e *ExtEstimator) Estimate(n *plan.Node) float64 {
+	return e.Model.Estimate(n).Cost
+}
+
+// EstimateJUCQ scores a JUCQ by lowering it (compatibility shim for
+// callers that have not built a plan tree).
 func (e *ExtEstimator) EstimateJUCQ(j query.JUCQ) float64 {
-	return e.Model.JUCQ(j).Cost
+	return e.Estimate(plan.FromJUCQ(j))
 }
 
 // Result is the outcome of a cover search.
@@ -130,11 +148,15 @@ func (m *Memo) put(cover, est string, e memoEntry) {
 }
 
 // evaluator memoizes cover cost estimates within one search, and
-// through Options.Memo across searches.
+// through Options.Memo across searches. Memo keys are scoped by the
+// query's canonical form: Cover.Key only encodes the fragment bitmasks,
+// so two queries with the same atom count produce colliding cover keys
+// and must not share entries.
 type evaluator struct {
 	ref   *reformulate.Reformulator
 	est   Estimator
 	memo  *Memo
+	scope string
 	seen  map[string]float64
 	jucqs map[string]query.JUCQ
 	lq    int
@@ -142,14 +164,15 @@ type evaluator struct {
 	err   error
 }
 
-func newEvaluator(ref *reformulate.Reformulator, est Estimator, memo *Memo) *evaluator {
-	return &evaluator{ref: ref, est: est, memo: memo, seen: make(map[string]float64), jucqs: make(map[string]query.JUCQ)}
+func newEvaluator(ref *reformulate.Reformulator, est Estimator, memo *Memo, q query.CQ) *evaluator {
+	return &evaluator{ref: ref, est: est, memo: memo, scope: query.CanonicalKey(q) + ";",
+		seen: make(map[string]float64), jucqs: make(map[string]query.JUCQ)}
 }
 
 // estimate returns the cover's cost, reformulating its fragments if the
 // cover has not been seen before (in this search or in the shared memo).
 func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
-	key := c.Key()
+	key := ev.scope + c.Key()
 	if v, ok := ev.seen[key]; ok {
 		return v, true
 	}
@@ -165,7 +188,7 @@ func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
 		ev.err = err
 		return 0, false
 	}
-	v := ev.est.EstimateJUCQ(j)
+	v := ev.est.Estimate(plan.FromJUCQ(j))
 	ev.seen[key] = v
 	ev.jucqs[key] = j
 	if ev.memo != nil {
@@ -189,7 +212,7 @@ func GDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimato
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
 	}
-	ev := newEvaluator(ref, est, opts.Memo)
+	ev := newEvaluator(ref, est, opts.Memo, q)
 	cur := cover.RootCover(q, t)
 	curCost, ok := ev.estimate(cur)
 	if !ok {
@@ -261,7 +284,7 @@ func GDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimato
 		moves++
 	}
 done:
-	key := cur.Key()
+	key := ev.scope + cur.Key()
 	return Result{
 		Cover:      cur,
 		JUCQ:       ev.jucqs[key],
@@ -290,7 +313,7 @@ func fragmentConnectedTo(c cover.Cover, i, a int) bool {
 // paper observes (Table 6), this is only feasible for small queries.
 func EDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimator, opts Options) Result {
 	start := time.Now()
-	ev := newEvaluator(ref, est, opts.Memo)
+	ev := newEvaluator(ref, est, opts.Memo, q)
 	var best cover.Cover
 	bestCost := -1.0
 	cover.EnumerateGeneralizedCovers(q, t, opts.MaxCovers, func(c cover.Cover) bool {
@@ -307,7 +330,7 @@ func EDL(q query.CQ, t *dllite.TBox, ref *reformulate.Reformulator, est Estimato
 	if ev.err != nil {
 		return Result{Err: ev.err, Elapsed: time.Since(start)}
 	}
-	key := best.Key()
+	key := ev.scope + best.Key()
 	return Result{
 		Cover:      best,
 		JUCQ:       ev.jucqs[key],

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dllite"
 	"repro/internal/engine"
 	"repro/internal/naive"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/reformulate"
 )
@@ -92,7 +93,7 @@ func TestGDLNeverWorseThanCroot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rootCost := est.EstimateJUCQ(j)
+		rootCost := est.Estimate(plan.FromJUCQ(j))
 		if res.Cost > rootCost {
 			t.Errorf("%s: GDL cost %.1f worse than Croot %.1f", est.Name(), res.Cost, rootCost)
 		}
@@ -210,7 +211,7 @@ type countingEstimator struct {
 }
 
 func (c *countingEstimator) Name() string { return c.inner.Name() }
-func (c *countingEstimator) EstimateJUCQ(j query.JUCQ) float64 {
+func (c *countingEstimator) Estimate(n *plan.Node) float64 {
 	*c.calls++
-	return c.inner.EstimateJUCQ(j)
+	return c.inner.Estimate(n)
 }

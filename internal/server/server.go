@@ -3,9 +3,11 @@
 // national-scale medical-records services). Endpoints:
 //
 //	POST /query        {"query": "q(x) <- A(x)", "strategy": "gdl-ext"}
+//	POST /explain      same payload; returns the EXPLAIN annotation
+//	GET  /explain      ?query=...&strategy=... (convenience form)
 //	GET  /consistency  T-consistency report
 //	GET  /stats        database statistics
-//	GET  /strategies   supported strategies
+//	GET  /strategies   supported strategies with descriptions
 //
 // The handler is a plain http.Handler, wired by cmd/obdaserver and
 // tested with httptest.
@@ -14,12 +16,15 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -38,6 +43,8 @@ type Server struct {
 func New(a *core.Answerer) *Server {
 	s := &Server{A: a, mux: http.NewServeMux(), sem: make(chan struct{}, runtime.GOMAXPROCS(0))}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /consistency", s.handleConsistency)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
@@ -66,20 +73,43 @@ type QueryResponse struct {
 	CacheHit  bool       `json:"cacheHit"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// decodeRequest parses a query+strategy pair from the request (JSON
+// body for POST, URL parameters for GET), validating the strategy
+// against the supported list.
+func decodeRequest(r *http.Request) (query.CQ, core.Strategy, int, error) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
+	if r.Method == http.MethodGet {
+		req.Query = r.URL.Query().Get("query")
+		req.Strategy = r.URL.Query().Get("strategy")
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return query.CQ{}, "", http.StatusBadRequest, errors.New("bad JSON: " + err.Error())
 	}
 	q, err := query.ParseCQ(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return query.CQ{}, "", http.StatusBadRequest, err
 	}
 	strategy := core.Strategy(req.Strategy)
 	if req.Strategy == "" {
 		strategy = core.StrategyGDLExt
+	}
+	if !core.ValidStrategy(strategy) {
+		valid := make([]string, 0, len(core.Strategies()))
+		for _, st := range core.Strategies() {
+			valid = append(valid, string(st))
+		}
+		return query.CQ{}, "", http.StatusBadRequest,
+			fmt.Errorf("unknown strategy %q (valid: %s)", req.Strategy, strings.Join(valid, ", "))
+	}
+	return q, strategy, 0, nil
+}
+
+// answer runs the request through the Answerer under the CPU
+// semaphore, mapping failures onto HTTP status codes.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request) *core.Result {
+	q, strategy, code, err := decodeRequest(r)
+	if err != nil {
+		httpError(w, code, err.Error())
+		return nil
 	}
 	s.sem <- struct{}{}
 	res, err := s.A.Answer(q, strategy)
@@ -88,9 +118,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var tooLong *engine.StatementTooLongError
 		if errors.As(err, &tooLong) {
 			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
-			return
+			return nil
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
+		return nil
+	}
+	return res
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	res := s.answer(w, r)
+	if res == nil {
 		return
 	}
 	writeJSON(w, QueryResponse{
@@ -104,6 +142,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cover:     res.Cover.String(),
 		CacheHit:  res.CacheHit,
 	})
+}
+
+// ExplainResponse is the /explain result: the strategy's chosen cover
+// and the backend's annotated plan (estimated cost/cardinality plus
+// the actual per-operator row counters of the run), both as a
+// structured tree and pre-rendered text.
+type ExplainResponse struct {
+	Strategy  string        `json:"strategy"`
+	Cover     string        `json:"cover"`
+	Fragments int           `json:"fragments"`
+	Disjuncts int           `json:"disjuncts"`
+	Answers   int           `json:"answers"`
+	CacheHit  bool          `json:"cacheHit"`
+	Explain   *plan.Explain `json:"explain"`
+	Text      string        `json:"text"`
+}
+
+// handleExplain answers the query like POST /query but returns the
+// EXPLAIN annotation instead of the tuples.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	res := s.answer(w, r)
+	if res == nil {
+		return
+	}
+	resp := ExplainResponse{
+		Strategy:  string(res.Strategy),
+		Cover:     res.Cover.String(),
+		Fragments: res.NumFragments,
+		Disjuncts: res.NumDisjuncts,
+		Answers:   len(res.Tuples),
+		CacheHit:  res.CacheHit,
+		Explain:   res.Explain,
+	}
+	if res.Explain != nil {
+		resp.Text = res.Explain.Text()
+	}
+	writeJSON(w, resp)
 }
 
 // ConsistencyResponse reports T-consistency.
@@ -161,10 +236,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// StrategyInfo describes one strategy in GET /strategies.
+type StrategyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
 func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
-	out := make([]string, 0, len(core.Strategies()))
+	out := make([]StrategyInfo, 0, len(core.Strategies()))
 	for _, st := range core.Strategies() {
-		out = append(out, string(st))
+		out = append(out, StrategyInfo{Name: string(st), Description: st.Description()})
 	}
 	writeJSON(w, out)
 }

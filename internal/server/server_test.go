@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -164,12 +165,17 @@ func TestStrategiesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out []string
+	var out []StrategyInfo
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	if len(out) != len(core.Strategies()) {
 		t.Errorf("strategies = %v", out)
+	}
+	for _, st := range out {
+		if st.Name == "" || st.Description == "" {
+			t.Errorf("strategy %+v missing name or description", st)
+		}
 	}
 }
 
@@ -295,3 +301,82 @@ func TestStatementTooLongStatus(t *testing.T) {
 		t.Errorf("status = %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestUnknownStrategyRejected: an unrecognized strategy is a 400 whose
+// message lists every valid strategy, before any search or evaluation
+// runs.
+func TestUnknownStrategyRejected(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		bytes.NewBufferString(`{"query": "q(x) <- Researcher(x)", "strategy": "bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	msg := out["error"]
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q does not name the bad strategy", msg)
+	}
+	for _, st := range core.Strategies() {
+		if !strings.Contains(msg, string(st)) {
+			t.Errorf("error %q does not list valid strategy %s", msg, st)
+		}
+	}
+}
+
+// TestExplainEndpoint: POST /explain returns the annotated plan with
+// both estimated and actual figures, and GET /explain accepts the same
+// request as URL parameters.
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/explain", "application/json",
+		bytesNewBuffer(`{"query": "q(x) <- PhDStudent(x), worksWith(y, x)", "strategy": "croot"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain == nil || out.Explain.Root == nil {
+		t.Fatal("no explain tree in response")
+	}
+	if out.Explain.Backend != "native" {
+		t.Errorf("backend = %s", out.Explain.Backend)
+	}
+	if out.Explain.Root.ActualRows < 0 {
+		t.Errorf("root actualRows = %d, want observed count", out.Explain.Root.ActualRows)
+	}
+	if out.Text == "" || !strings.Contains(out.Text, "distinct") {
+		t.Errorf("text rendering missing: %q", out.Text)
+	}
+
+	get, err := http.Get(srv.URL + "/explain?query=" + url.QueryEscape("q(x) <- Researcher(x)") + "&strategy=ucq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", get.StatusCode)
+	}
+	var gout ExplainResponse
+	if err := json.NewDecoder(get.Body).Decode(&gout); err != nil {
+		t.Fatal(err)
+	}
+	if gout.Strategy != "ucq" || gout.Explain == nil {
+		t.Errorf("GET explain = %+v", gout)
+	}
+}
+
+func bytesNewBuffer(s string) *bytes.Buffer { return bytes.NewBufferString(s) }
