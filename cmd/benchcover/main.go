@@ -2,12 +2,15 @@
 // programmatically (testing.Benchmark) and writes the series to
 // BENCH_cover.json: materialized vs streaming hash-join execution of
 // multi-fragment root covers at 1/2/4/8 workers, plus the repeated
-// query with the answer cache on and off.
+// query with the answer cache on and off. It also writes
+// BENCH_shard.json: the shard backend at 1/2/4/8 shards against the
+// serial native baseline, with the speedup and the GOMAXPROCS the run
+// saw (sharded speedup needs cores to spread over).
 //
 // Usage:
 //
-//	benchcover                      # BENCH_cover.json in the cwd
-//	benchcover -o out.json -scale 8
+//	benchcover                      # BENCH_cover.json + BENCH_shard.json
+//	benchcover -o out.json -shard-o shard.json -scale 8
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -22,7 +26,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/lubm"
+	"repro/internal/plan"
 	"repro/internal/reformulate"
+	"repro/internal/shard"
 )
 
 // Entry is one benchmark series point.
@@ -48,11 +54,82 @@ func record(out *[]Entry, name string, fn func(b *testing.B)) {
 		e.Name, e.Iterations, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 }
 
+// ShardEntry is one point of the BENCH_shard.json series: the shard
+// backend at a given fan-out against the serial native baseline on the
+// same plan. Speedup > 1 needs cores to spread over — GoMaxProcs
+// records how many the run had.
+type ShardEntry struct {
+	Query      string  `json:"query"`
+	Shards     int     `json:"shards"` // 0 = the native baseline
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	Speedup    float64 `json:"speedup_vs_native"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+// shardSeries measures the native serial baseline and the shard
+// backend at 1/2/4/8 shards over the workload plans.
+func shardSeries(env *exp.Env) ([]ShardEntry, error) {
+	ref := reformulate.New(env.TBox)
+	var series []ShardEntry
+	for _, qi := range []int{2, 8} { // Q3, Q9
+		q := lubm.Queries()[qi]
+		c := cover.RootCover(q, env.TBox)
+		j, err := c.ReformulateJUCQ(ref)
+		if err != nil {
+			return nil, err
+		}
+		ir := plan.Rewrite(plan.FromJUCQ(j))
+		measure := func(b plan.Backend, workers int) (float64, int64, error) {
+			exec, err := b.Compile(ir)
+			if err != nil {
+				return 0, 0, err
+			}
+			r := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					if _, err := exec.Run(workers); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocedBytesPerOp(), nil
+		}
+		baseNs, baseBytes, err := measure(engine.NewBackend(env.DB, env.Profile), 1)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, ShardEntry{
+			Query: q.Name, Shards: 0, NsPerOp: baseNs, BytesPerOp: baseBytes,
+			Speedup: 1, GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+		fmt.Printf("%-24s %14.0f ns/op %10d B/op  (native baseline)\n", q.Name+"/native", baseNs, baseBytes)
+		for _, n := range []int{1, 2, 4, 8} {
+			sb, err := shard.New(env.DB, env.Profile, n)
+			if err != nil {
+				return nil, err
+			}
+			ns, bytes, err := measure(sb, n)
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, ShardEntry{
+				Query: q.Name, Shards: n, NsPerOp: ns, BytesPerOp: bytes,
+				Speedup: baseNs / ns, GoMaxProcs: runtime.GOMAXPROCS(0),
+			})
+			fmt.Printf("%-24s %14.0f ns/op %10d B/op  %5.2fx vs native\n",
+				fmt.Sprintf("%s/shard-n%d", q.Name, n), ns, bytes, baseNs/ns)
+		}
+	}
+	return series, nil
+}
+
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_cover.json", "output file")
-		scale = flag.Int("scale", 4, "universities in the generated database")
-		seed  = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "BENCH_cover.json", "output file")
+		shardOut = flag.String("shard-o", "BENCH_shard.json", "shard series output file")
+		scale    = flag.Int("scale", 4, "universities in the generated database")
+		seed     = flag.Int64("seed", 1, "generator seed")
 	)
 	flag.Parse()
 
@@ -107,14 +184,25 @@ func main() {
 		})
 	}
 
-	data, err := json.MarshalIndent(entries, "", "  ")
+	writeJSON(*out, entries)
+
+	series, err := shardSeries(env)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcover:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	writeJSON(*shardOut, series)
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcover:", err)
 		os.Exit(1)
 	}
-	fmt.Println("wrote", *out)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcover:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

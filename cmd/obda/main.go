@@ -22,7 +22,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ntriples"
 	"repro/internal/query"
-	"repro/internal/sqlexec"
 	"repro/internal/sqlgen"
 )
 
@@ -37,7 +36,10 @@ func main() {
 		showSQL     = flag.Bool("sql", false, "print the generated SQL")
 		explain     = flag.Bool("explain", false, "print cover, fragment and cost details")
 		consistency = flag.Bool("check-consistency", false, "verify T-consistency before answering")
-		viaSQL      = flag.Bool("via-sql", false, "execute through the generated SQL text (simple layout only)")
+		viaSQL      = flag.Bool("via-sql", false, "execute through the generated SQL text (alias for -backend sql)")
+		backendName = flag.String("backend", "native", "execution backend: native, sql, or shard")
+		shards      = flag.Int("shards", 0, "shard backend fan-out (0 = GOMAXPROCS; -backend shard only)")
+		workers     = flag.Int("workers", 0, "evaluation worker budget (0 = sequential)")
 		aboxFormat  = flag.String("abox-format", "facts", "ABox file format: facts or nt (N-Triples)")
 	)
 	flag.Parse()
@@ -65,9 +67,13 @@ func main() {
 	fatal(err)
 
 	a := core.New(tb, db, prof)
+	a.Workers = *workers
+	name := strings.ToLower(*backendName)
 	if *viaSQL {
-		a.Backend = sqlexec.NewBackend(db, prof)
+		name = "sql"
 	}
+	a.Backend, err = core.NewBackendByName(name, db, prof, *shards)
+	fatal(err)
 	if *consistency {
 		violations, err := a.CheckConsistency()
 		fatal(err)

@@ -25,7 +25,6 @@ import (
 	"repro/internal/dllite"
 	"repro/internal/engine"
 	"repro/internal/server"
-	"repro/internal/sqlexec"
 )
 
 func main() {
@@ -35,7 +34,8 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		profileName = flag.String("profile", "postgres", "engine profile: postgres or db2")
 		layoutName  = flag.String("layout", "simple", "data layout: simple or rdf")
-		backendName = flag.String("backend", "native", "execution backend: native (streaming engine) or sql (execute the generated SQL text; simple layout only)")
+		backendName = flag.String("backend", "native", "default execution backend: native, sql, or shard (requests may override per-query)")
+		shards      = flag.Int("shards", 0, "shard backend fan-out (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *tboxPath == "" || *aboxPath == "" {
@@ -64,20 +64,15 @@ func main() {
 	db := engine.NewDB(layout)
 	db.LoadABox(ab)
 	a := core.New(tb, db, prof)
-	switch strings.ToLower(*backendName) {
-	case "", "native":
-		a.Backend = engine.NewBackend(db, prof)
-	case "sql":
-		if layout != engine.LayoutSimple {
-			fatal(fmt.Errorf("the sql backend requires -layout simple"))
-		}
-		a.Backend = sqlexec.NewBackend(db, prof)
-	default:
-		fatal(fmt.Errorf("unknown backend %q (valid: native, sql)", *backendName))
+	def := strings.ToLower(*backendName)
+	if def == "" {
+		def = "native"
 	}
+	a.Backend, err = core.NewBackendByName(def, db, prof, *shards)
+	fatal(err)
 	log.Printf("obdaserver: %d facts, %d axioms, %s, %s profile, %s backend, listening on %s",
 		db.NumFacts(), tb.NumConstraints(), layout, prof.Name, a.Backend.Name(), *addr)
-	srv := server.New(a)
+	srv := server.NewWithOptions(a, server.Options{DefaultBackend: def, Shards: *shards})
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,72 @@
+package core
+
+// The execution-backend registry: every backend selectable through
+// cmd/obda's and cmd/obdaserver's -backend flag (and the server's
+// per-request "backend" field) is constructed here, so the valid set,
+// the descriptions served by GET /backends, and the error message for
+// unknown names all come from one place.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/shard"
+	"repro/internal/sqlexec"
+)
+
+// BackendSpec describes one registered execution backend (served by
+// GET /backends).
+type BackendSpec struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// BackendSpecs lists the registered execution backends.
+func BackendSpecs() []BackendSpec {
+	return []BackendSpec{
+		{Name: "native", Description: "in-process streaming operator engine (default)"},
+		{Name: "sql", Description: "evaluation through the generated SQL text (the RDBMS statement surface)"},
+		{Name: "shard", Description: "hash-partitioned parallel execution: per-shard operator trees merged through the parallel union"},
+	}
+}
+
+// BackendNames lists the registered backend names.
+func BackendNames() []string {
+	specs := BackendSpecs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ValidBackend reports whether name is registered.
+func ValidBackend(name string) bool {
+	for _, s := range BackendSpecs() {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NewBackendByName constructs the named backend over a finalized
+// database and profile. shards applies to "shard" only (values < 1
+// default to GOMAXPROCS). Unknown names error, naming the valid set.
+func NewBackendByName(name string, db *engine.DB, prof *engine.Profile, shards int) (plan.Backend, error) {
+	switch name {
+	case "native":
+		return engine.NewBackend(db, prof), nil
+	case "sql":
+		return sqlexec.NewBackend(db, prof), nil
+	case "shard":
+		if shards < 1 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		return shard.New(db, prof, shards)
+	}
+	return nil, fmt.Errorf("core: unknown backend %q (valid: %s)", name, strings.Join(BackendNames(), ", "))
+}

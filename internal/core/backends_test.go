@@ -49,32 +49,48 @@ func sweepQueries() []query.CQ {
 }
 
 // TestBackendsAgreeOnLUBM: every strategy must return the same certain
-// answers through the native streaming backend and through the SQL-text
-// backend — the two lowerings of one logical plan.
+// answers through the native streaming backend, through the SQL-text
+// backend, and through the shard backend at several fan-outs (including
+// 1 — the degenerate partitioning — and 7, which leaves some shards
+// empty on small data) — all lowerings of one logical plan. A separate
+// Answerer per variant keeps the answer cache from conflating shard
+// counts (the cache key carries the backend name, not its fan-out).
 func TestBackendsAgreeOnLUBM(t *testing.T) {
 	for name, build := range map[string]func(*testing.T) *Answerer{
 		"lubm1": lubmAnswerer,
 		"empty": emptyAnswerer,
 	} {
 		native := build(t)
-		viaSQL := build(t)
-		viaSQL.Backend = sqlexec.NewBackend(viaSQL.DB, viaSQL.Profile)
+		variants := map[string]*Answerer{
+			"sql": build(t), "shard1": build(t), "shard2": build(t), "shard7": build(t),
+		}
+		variants["sql"].Backend = sqlexec.NewBackend(variants["sql"].DB, variants["sql"].Profile)
+		for label, shards := range map[string]int{"shard1": 1, "shard2": 2, "shard7": 7} {
+			a := variants[label]
+			b, err := NewBackendByName("shard", a.DB, a.Profile, shards)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, label, err)
+			}
+			a.Backend = b
+		}
 		for _, q := range sweepQueries() {
 			for _, s := range Strategies() {
 				rn, err := native.Answer(q, s)
 				if err != nil {
 					t.Fatalf("%s/%s/%s native: %v", name, q.Name, s, err)
 				}
-				rs, err := viaSQL.Answer(q, s)
-				if err != nil {
-					t.Fatalf("%s/%s/%s sql: %v", name, q.Name, s, err)
-				}
-				if !reflect.DeepEqual(sorted(rn.Tuples), sorted(rs.Tuples)) {
-					t.Errorf("%s/%s/%s: backends disagree: native %d rows, sql %d rows",
-						name, q.Name, s, len(rn.Tuples), len(rs.Tuples))
-				}
 				if name == "empty" && len(rn.Tuples) != 0 {
 					t.Errorf("%s/%s: %d answers from an empty ABox", q.Name, s, len(rn.Tuples))
+				}
+				for label, a := range variants {
+					rv, err := a.Answer(q, s)
+					if err != nil {
+						t.Fatalf("%s/%s/%s %s: %v", name, q.Name, s, label, err)
+					}
+					if !reflect.DeepEqual(sorted(rn.Tuples), sorted(rv.Tuples)) {
+						t.Errorf("%s/%s/%s: backends disagree: native %d rows, %s %d rows",
+							name, q.Name, s, len(rn.Tuples), label, len(rv.Tuples))
+					}
 				}
 			}
 		}

@@ -235,6 +235,17 @@ type Result struct {
 // from the answer cache when possible; evaluation always runs against
 // the live data.
 func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
+	return a.AnswerWith(q, s, nil)
+}
+
+// AnswerWith is Answer with a per-call execution backend override
+// (nil selects the Answerer's configured backend). The cache keys by
+// backend name, so one Answerer serves requests across backends
+// without ever handing a plan compiled by one to another.
+func (a *Answerer) AnswerWith(q query.CQ, s Strategy, backend plan.Backend) (*Result, error) {
+	if backend == nil {
+		backend = a.backend()
+	}
 	res := &Result{Strategy: s, Query: q}
 	var key cacheKey
 	if a.Cache != nil {
@@ -243,27 +254,27 @@ func (a *Answerer) Answer(q query.CQ, s Strategy) (*Result, error) {
 			strategy: s,
 			tboxVer:  a.tboxVer.Load(),
 			dataVer:  a.DB.Version(),
-			backend:  a.backend().Name(),
+			backend:  backend.Name(),
 		}
 		if cp, ok := a.Cache.get(key); ok {
 			res.CacheHit = true
-			return a.execute(cp, res)
+			return a.execute(cp, res, backend)
 		}
 	}
-	cp, err := a.buildPlan(q, s, res)
+	cp, err := a.buildPlan(q, s, res, backend)
 	if err != nil {
 		return nil, err
 	}
 	if a.Cache != nil {
 		a.Cache.put(key, cp)
 	}
-	return a.execute(cp, res)
+	return a.execute(cp, res, backend)
 }
 
 // buildPlan is the cacheable front half of Answer: choose the cover,
 // reformulate it, generate the SQL, and plan the evaluation. It fills
 // res's search fields (fresh searches only reach here).
-func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, error) {
+func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result, backend plan.Backend) (*cachedPlan, error) {
 	var c cover.Cover
 	switch s {
 	case StrategyUCQ, StrategyUCQMin, StrategyUSCQ:
@@ -271,7 +282,15 @@ func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, 
 	case StrategyCroot:
 		c = cover.RootCover(q, a.TBox)
 	case StrategyGDLRDBMS:
-		sr := search.GDL(q, a.TBox, a.Ref, &search.RDBMSEstimator{DB: a.DB, Profile: a.Profile}, a.searchOpts())
+		// The "RDBMS's own estimation" is the executing backend's: a
+		// non-native backend (sql, shard) scores candidate covers with
+		// its own Estimate, so the search optimizes the plan that will
+		// actually run there.
+		var est search.Estimator = &search.RDBMSEstimator{DB: a.DB, Profile: a.Profile}
+		if backend.Name() != "native" {
+			est = &search.BackendEstimator{Backend: backend}
+		}
+		sr := search.GDL(q, a.TBox, a.Ref, est, a.searchOpts())
 		if sr.Err != nil {
 			return nil, sr.Err
 		}
@@ -333,7 +352,11 @@ func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, 
 		cp.sql = sqlgen.JUCQ(j, sqlgen.Options{Layout: a.DB.Layout})
 		cp.ir = plan.FromJUCQ(j)
 	}
-	exec, err := a.backend().Compile(cp.ir)
+	// Backend-neutral IR simplification (single-arm union collapse,
+	// nested project merge) — applied here so every backend compiles
+	// the same rewritten tree the search estimators scored.
+	cp.ir = plan.Rewrite(cp.ir)
+	exec, err := backend.Compile(cp.ir)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +367,7 @@ func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result) (*cachedPlan, 
 // execute runs a (possibly cached) plan: enforce the profile's
 // statement limit, run the compiled executable on the configured
 // backend, and fill in the result (tuples, estimate, EXPLAIN).
-func (a *Answerer) execute(cp *cachedPlan, res *Result) (*Result, error) {
+func (a *Answerer) execute(cp *cachedPlan, res *Result, backend plan.Backend) (*Result, error) {
 	res.Cover = cp.cover
 	res.NumFragments = cp.numFragments
 	res.NumDisjuncts = cp.numDisjuncts
@@ -365,6 +388,12 @@ func (a *Answerer) execute(cp *cachedPlan, res *Result) (*Result, error) {
 	res.Tuples = rr.Tuples
 	res.EstCost = est.Cost
 	res.Explain = rr.Explain
+	// Per-backend statistics feedback: hand the run's actuals back to
+	// the backend that compiled the plan, so each backend's Estimate
+	// self-corrects from its own executions.
+	if ob, ok := backend.(plan.Observer); ok {
+		ob.Observe(cp.ir, rr.Explain)
+	}
 	return res, nil
 }
 

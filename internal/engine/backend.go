@@ -28,9 +28,11 @@ func NewBackend(db *DB, prof *Profile) *Backend { return &Backend{DB: db, Profil
 // Name identifies the backend in cache keys and EXPLAIN output.
 func (b *Backend) Name() string { return "native" }
 
-// compiled is a lowered logical plan: exactly one of the plan groups
-// is set, mirroring the dialect the tree extracted into.
-type compiled struct {
+// Compiled is a lowered logical plan: exactly one of the plan groups
+// is set, mirroring the dialect the tree extracted into. It implements
+// plan.Executable; composing backends (internal/shard) reach the
+// per-run operator tree through Tree instead of the opaque Run.
+type Compiled struct {
 	b    *Backend
 	node *plan.Node
 	kind plan.Kind
@@ -43,12 +45,12 @@ type compiled struct {
 }
 
 // lower extracts the tree and plans it under the profile.
-func (b *Backend) lower(n *plan.Node) (*compiled, error) {
+func (b *Backend) lower(n *plan.Node) (*Compiled, error) {
 	lo, err := plan.Extract(n)
 	if err != nil {
 		return nil, err
 	}
-	c := &compiled{b: b, node: n, kind: lo.Kind}
+	c := &Compiled{b: b, node: n, kind: lo.Kind}
 	switch lo.Kind {
 	case plan.KindUCQ:
 		p := PlanUCQ(lo.UCQ, b.DB, b.Profile)
@@ -73,6 +75,16 @@ func (b *Backend) lower(n *plan.Node) (*compiled, error) {
 // Compile lowers the plan into a reusable executable.
 func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) { return b.lower(n) }
 
+// CompilePlan is the per-shard compile hook: it lowers the plan like
+// Compile but returns the concrete *Compiled, whose Tree method hands
+// composing backends a fresh operator pipeline per run.
+func (b *Backend) CompilePlan(n *plan.Node) (*Compiled, error) { return b.lower(n) }
+
+// NewDistinctOperator wraps any operator in the streaming distinct —
+// the merge step of backends that union independently produced
+// streams (shard fan-in).
+func NewDistinctOperator(in Operator) Operator { return newDistinct(in) }
+
 // Estimate scores the plan; malformed trees cost +Inf.
 func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
 	c, err := b.lower(n)
@@ -83,51 +95,57 @@ func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
 }
 
 // Estimate returns the compile-time estimate.
-func (c *compiled) Estimate() plan.Estimate { return c.est }
+func (c *Compiled) Estimate() plan.Estimate { return c.est }
+
+// Tree builds a fresh streaming operator pipeline for one run,
+// returning it with an annotation callback that — once the tree has
+// been drained — maps the operators' actual row counters (plus the
+// estimates frozen in the plans) onto an EXPLAIN skeleton of the plan.
+// Operator trees are single-use; call Tree again for another run.
+func (c *Compiled) Tree(workers int) (Operator, func(at map[*plan.Node]*plan.ExplainNode)) {
+	db, prof := c.b.DB, c.b.Profile
+	switch c.kind {
+	case plan.KindUCQ:
+		if len(c.ucq.Plans) == 0 {
+			return newUnion(headSchema(c.ucq.U.Head()), nil), func(map[*plan.Node]*plan.ExplainNode) {}
+		}
+		op := CompileUCQ(*c.ucq, db, prof, workers)
+		return op, func(at map[*plan.Node]*plan.ExplainNode) {
+			annotateUnionTree(op, c.node, at, c.ucq, nil)
+		}
+	case plan.KindUSCQ:
+		if len(c.uscq.Plans) == 0 {
+			return newUnion(nil, nil), func(map[*plan.Node]*plan.ExplainNode) {}
+		}
+		op := CompileUSCQ(*c.uscq, db, prof, workers)
+		return op, func(at map[*plan.Node]*plan.ExplainNode) {
+			annotateUnionTree(op, c.node, at, nil, c.uscq)
+		}
+	default:
+		op, frags := c.buildCoverTree(workers)
+		return op, func(at map[*plan.Node]*plan.ExplainNode) {
+			c.annotateCoverTree(op, frags, at)
+		}
+	}
+}
 
 // Run builds a fresh operator tree, drains it, and annotates the
 // EXPLAIN skeleton with the estimates frozen in the plans and the
 // actual row counters the operators observed.
-func (c *compiled) Run(workers int) (*plan.RunResult, error) {
-	db, prof := c.b.DB, c.b.Profile
+func (c *Compiled) Run(workers int) (*plan.RunResult, error) {
 	root, at := plan.Skeleton(c.node)
 	ex := &plan.Explain{Backend: c.b.Name(), EstCost: c.est.Cost, EstCard: c.est.Card, Root: root}
-
-	var rel *Relation
-	switch c.kind {
-	case plan.KindUCQ:
-		if len(c.ucq.Plans) == 0 {
-			rel = &Relation{}
-			break
-		}
-		op := CompileUCQ(*c.ucq, db, prof, workers)
-		rel = Drain(op)
-		annotateUnionTree(op, c.node, at, c.ucq, nil)
-	case plan.KindUSCQ:
-		if len(c.uscq.Plans) == 0 {
-			rel = &Relation{}
-			break
-		}
-		op := CompileUSCQ(*c.uscq, db, prof, workers)
-		rel = Drain(op)
-		annotateUnionTree(op, c.node, at, nil, c.uscq)
-	case plan.KindJUCQ:
-		op, frags := c.buildCoverTree(workers)
-		rel = Drain(op)
-		c.annotateCoverTree(op, frags, at)
-	default:
-		op, frags := c.buildCoverTree(workers)
-		rel = Drain(op)
-		c.annotateCoverTree(op, frags, at)
-	}
-	return &plan.RunResult{Tuples: rel.Decode(db.Dict), Explain: ex}, nil
+	op, annotate := c.Tree(workers)
+	rel := Drain(op)
+	annotate(at)
+	return &plan.RunResult{Tuples: rel.Decode(c.b.DB.Dict), Explain: ex}, nil
 }
 
 // buildCoverTree assembles the streaming cover pipeline exactly like
 // CompileJUCQ/CompileJUSCQ, but keeps the fragment roots in original
 // fragment order — the hash join reorders its children (probe first,
 // builds by size), which would scramle the IR mapping.
-func (c *compiled) buildCoverTree(workers int) (root Operator, frags []Operator) {
+func (c *Compiled) buildCoverTree(workers int) (root Operator, frags []Operator) {
 	db, prof := c.b.DB, c.b.Profile
 	var n int
 	var head []string
@@ -163,7 +181,7 @@ func (c *compiled) buildCoverTree(workers int) (root Operator, frags []Operator)
 	return newDistinct(compileProjectNamed(hj, headTerms, db)), frags
 }
 
-func (c *compiled) coverHead() []query.Term {
+func (c *Compiled) coverHead() []query.Term {
 	if c.kind == plan.KindJUCQ {
 		return c.jucq.J.Head
 	}
@@ -174,7 +192,7 @@ func (c *compiled) coverHead() []query.Term {
 // Distinct ← the root dedup, Project ← the head projection, Join ←
 // the hash join, and each fragment subtree ← its Distinct(Union(...))
 // pipeline.
-func (c *compiled) annotateCoverTree(op Operator, frags []Operator, at map[*plan.Node]*plan.ExplainNode) {
+func (c *Compiled) annotateCoverTree(op Operator, frags []Operator, at map[*plan.Node]*plan.ExplainNode) {
 	distinctIR := c.node
 	if distinctIR.Op != plan.OpDistinct || len(distinctIR.Inputs) != 1 {
 		return
@@ -207,7 +225,34 @@ func (c *compiled) annotateCoverTree(op Operator, frags []Operator, at map[*plan
 // annotateUnionTree maps a Distinct(Union(arms)) pipeline onto its IR
 // subtree. Exactly one of up/sp is set (UCQ vs factorized USCQ).
 func annotateUnionTree(op Operator, n *plan.Node, at map[*plan.Node]*plan.ExplainNode, up *UCQPlan, sp *USCQPlan) {
-	if n.Op != plan.OpDistinct || len(n.Inputs) != 1 || n.Inputs[0].Op != plan.OpUnion {
+	if n.Op != plan.OpDistinct || len(n.Inputs) != 1 {
+		return
+	}
+	if n.Inputs[0].Op == plan.OpProject {
+		// Collapsed single-arm-union shape (plan.Rewrite): the IR has
+		// no Union node, but the physical tree keeps its union stage —
+		// map the single arm straight onto the projection.
+		if up != nil {
+			setExplain(at[n], up.EstCard, up.EstCost, op)
+		} else {
+			setExplain(at[n], sp.EstCard, sp.EstCost, op)
+		}
+		kids := op.Children()
+		if len(kids) != 1 {
+			return
+		}
+		arms := kids[0].Children()
+		if len(arms) != 1 {
+			return
+		}
+		if up != nil && len(up.Plans) == 1 {
+			annotateArm(arms[0], n.Inputs[0], at, armSteps(up.Plans[0]), up.Plans[0].EstCard, up.Plans[0].EstCost)
+		} else if sp != nil && len(sp.Plans) == 1 {
+			annotateArm(arms[0], n.Inputs[0], at, scqSteps(sp.Plans[0]), sp.Plans[0].EstCard, sp.Plans[0].EstCost)
+		}
+		return
+	}
+	if n.Inputs[0].Op != plan.OpUnion {
 		return
 	}
 	unionIR := n.Inputs[0]

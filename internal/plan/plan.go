@@ -328,10 +328,52 @@ func Extract(n *Node) (Lowered, error) {
 	case OpUnion:
 		return extractUnion(n.Name, child)
 	case OpProject:
-		return extractCover(child)
+		if isCoverShape(child) {
+			return extractCover(child)
+		}
+		// Distinct directly over an arm projection: the collapsed
+		// single-arm-union shape the Rewrite pass produces.
+		return extractSingleArm(n.Name, child)
 	default:
 		return Lowered{}, fmt.Errorf("plan: distinct input must be union or project, got %s", child.Op)
 	}
+}
+
+// isCoverShape distinguishes a cover projection (wrapping the join of
+// fragment subtrees, each a Distinct root) from a plain arm projection
+// whose union was collapsed away — the only two Projects a Distinct
+// root can wrap.
+func isCoverShape(p *Node) bool {
+	if len(p.Inputs) != 1 || p.Inputs[0].Op != OpJoin {
+		return false
+	}
+	join := p.Inputs[0]
+	if len(join.Inputs) == 0 {
+		return false
+	}
+	for _, in := range join.Inputs {
+		if in.Op != OpDistinct {
+			return false
+		}
+	}
+	return true
+}
+
+// extractSingleArm turns Distinct(Project(body)) into the
+// one-disjunct UCQ or USCQ it stands for.
+func extractSingleArm(name string, arm *Node) (Lowered, error) {
+	if arm.Factorized {
+		s, err := extractSCQ(arm)
+		if err != nil {
+			return Lowered{}, err
+		}
+		return Lowered{Kind: KindUSCQ, USCQ: query.USCQ{Name: name, Disjuncts: []query.SCQ{s}}}, nil
+	}
+	cq, err := extractCQ(arm)
+	if err != nil {
+		return Lowered{}, err
+	}
+	return Lowered{Kind: KindUCQ, UCQ: query.UCQ{Name: name, Disjuncts: []query.CQ{cq}}}, nil
 }
 
 // extractUnion turns Distinct(Union(arms)) into a UCQ or USCQ.

@@ -51,6 +51,22 @@ func (e *RDBMSEstimator) EstimateJUCQ(j query.JUCQ) float64 {
 	return e.Estimate(plan.FromJUCQ(j))
 }
 
+// BackendEstimator scores plans through an execution backend's own
+// Estimate — GDL over the sql or shard backend then optimizes the
+// plan as that backend will run it (a sharded Estimate sums per-shard
+// figures, so covers that align with the partitioning win).
+type BackendEstimator struct {
+	Backend plan.Backend
+}
+
+// Name identifies the estimator in reports and memo keys.
+func (e *BackendEstimator) Name() string { return "backend(" + e.Backend.Name() + ")" }
+
+// Estimate delegates to the backend.
+func (e *BackendEstimator) Estimate(n *plan.Node) float64 {
+	return e.Backend.Estimate(n).Cost
+}
+
 // ExtEstimator uses the external cost model (package cost).
 type ExtEstimator struct {
 	Model *cost.Model
@@ -188,7 +204,9 @@ func (ev *evaluator) estimate(c cover.Cover) (float64, bool) {
 		ev.err = err
 		return 0, false
 	}
-	v := ev.est.Estimate(plan.FromJUCQ(j))
+	// Score the rewritten tree — the exact shape core.Answerer hands
+	// the execution backend after its IR simplification pass.
+	v := ev.est.Estimate(plan.Rewrite(plan.FromJUCQ(j)))
 	ev.seen[key] = v
 	ev.jucqs[key] = j
 	if ev.memo != nil {

@@ -2,12 +2,13 @@
 // shape OBDA deployments take in practice (the paper's motivation cites
 // national-scale medical-records services). Endpoints:
 //
-//	POST /query        {"query": "q(x) <- A(x)", "strategy": "gdl-ext"}
+//	POST /query        {"query": "q(x) <- A(x)", "strategy": "gdl-ext", "backend": "shard"}
 //	POST /explain      same payload; returns the EXPLAIN annotation
-//	GET  /explain      ?query=...&strategy=... (convenience form)
+//	GET  /explain      ?query=...&strategy=...&backend=... (convenience form)
 //	GET  /consistency  T-consistency report
 //	GET  /stats        database statistics
 //	GET  /strategies   supported strategies with descriptions
+//	GET  /backends     registered execution backends with descriptions
 //
 // The handler is a plain http.Handler, wired by cmd/obdaserver and
 // tested with httptest.
@@ -20,6 +21,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -37,18 +39,66 @@ type Server struct {
 	A   *core.Answerer
 	mux *http.ServeMux
 	sem chan struct{}
+
+	defaultBackend string
+	shards         int
+	bmu            sync.Mutex
+	backends       map[string]plan.Backend
 }
 
-// New builds the HTTP server around an Answerer.
-func New(a *core.Answerer) *Server {
-	s := &Server{A: a, mux: http.NewServeMux(), sem: make(chan struct{}, runtime.GOMAXPROCS(0))}
+// Options configure the server's execution backends.
+type Options struct {
+	// DefaultBackend serves requests that name no backend ("" →
+	// "native"). Must be a registered backend name.
+	DefaultBackend string
+	// Shards is the shard backend's fan-out (< 1 → GOMAXPROCS).
+	Shards int
+}
+
+// New builds the HTTP server around an Answerer with default options.
+func New(a *core.Answerer) *Server { return NewWithOptions(a, Options{}) }
+
+// NewWithOptions builds the HTTP server around an Answerer. Backends
+// are constructed lazily on first use (the shard backend partitions
+// the whole database) and cached for the server's lifetime — the data
+// is read-only while serving.
+func NewWithOptions(a *core.Answerer, opts Options) *Server {
+	def := opts.DefaultBackend
+	if def == "" {
+		def = "native"
+	}
+	s := &Server{
+		A:              a,
+		mux:            http.NewServeMux(),
+		sem:            make(chan struct{}, runtime.GOMAXPROCS(0)),
+		defaultBackend: def,
+		shards:         opts.Shards,
+		backends:       make(map[string]plan.Backend),
+	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /consistency", s.handleConsistency)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /backends", s.handleBackends)
 	return s
+}
+
+// backendFor returns the named execution backend, constructing and
+// caching it on first use.
+func (s *Server) backendFor(name string) (plan.Backend, error) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	if b, ok := s.backends[name]; ok {
+		return b, nil
+	}
+	b, err := core.NewBackendByName(name, s.A.DB, s.A.Profile, s.shards)
+	if err != nil {
+		return nil, err
+	}
+	s.backends[name] = b
+	return b, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -58,6 +108,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 type QueryRequest struct {
 	Query    string `json:"query"`
 	Strategy string `json:"strategy,omitempty"` // default gdl-ext
+	Backend  string `json:"backend,omitempty"`  // default the server's -backend
 }
 
 // QueryResponse is the POST /query result.
@@ -70,23 +121,25 @@ type QueryResponse struct {
 	SearchMs  float64    `json:"searchMs"`
 	EvalMs    float64    `json:"evalMs"`
 	Cover     string     `json:"cover"`
+	Backend   string     `json:"backend"`
 	CacheHit  bool       `json:"cacheHit"`
 }
 
-// decodeRequest parses a query+strategy pair from the request (JSON
-// body for POST, URL parameters for GET), validating the strategy
-// against the supported list.
-func decodeRequest(r *http.Request) (query.CQ, core.Strategy, int, error) {
+// decodeRequest parses a query+strategy+backend triple from the
+// request (JSON body for POST, URL parameters for GET), validating
+// the strategy and backend names against their registries.
+func (s *Server) decodeRequest(r *http.Request) (query.CQ, core.Strategy, string, int, error) {
 	var req QueryRequest
 	if r.Method == http.MethodGet {
 		req.Query = r.URL.Query().Get("query")
 		req.Strategy = r.URL.Query().Get("strategy")
+		req.Backend = r.URL.Query().Get("backend")
 	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return query.CQ{}, "", http.StatusBadRequest, errors.New("bad JSON: " + err.Error())
+		return query.CQ{}, "", "", http.StatusBadRequest, errors.New("bad JSON: " + err.Error())
 	}
 	q, err := query.ParseCQ(req.Query)
 	if err != nil {
-		return query.CQ{}, "", http.StatusBadRequest, err
+		return query.CQ{}, "", "", http.StatusBadRequest, err
 	}
 	strategy := core.Strategy(req.Strategy)
 	if req.Strategy == "" {
@@ -97,22 +150,35 @@ func decodeRequest(r *http.Request) (query.CQ, core.Strategy, int, error) {
 		for _, st := range core.Strategies() {
 			valid = append(valid, string(st))
 		}
-		return query.CQ{}, "", http.StatusBadRequest,
+		return query.CQ{}, "", "", http.StatusBadRequest,
 			fmt.Errorf("unknown strategy %q (valid: %s)", req.Strategy, strings.Join(valid, ", "))
 	}
-	return q, strategy, 0, nil
+	backend := req.Backend
+	if backend == "" {
+		backend = s.defaultBackend
+	}
+	if !core.ValidBackend(backend) {
+		return query.CQ{}, "", "", http.StatusBadRequest,
+			fmt.Errorf("unknown backend %q (valid: %s)", req.Backend, strings.Join(core.BackendNames(), ", "))
+	}
+	return q, strategy, backend, 0, nil
 }
 
 // answer runs the request through the Answerer under the CPU
 // semaphore, mapping failures onto HTTP status codes.
 func (s *Server) answer(w http.ResponseWriter, r *http.Request) *core.Result {
-	q, strategy, code, err := decodeRequest(r)
+	q, strategy, backendName, code, err := s.decodeRequest(r)
 	if err != nil {
 		httpError(w, code, err.Error())
 		return nil
 	}
+	backend, err := s.backendFor(backendName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil
+	}
 	s.sem <- struct{}{}
-	res, err := s.A.Answer(q, strategy)
+	res, err := s.A.AnswerWith(q, strategy, backend)
 	<-s.sem
 	if err != nil {
 		var tooLong *engine.StatementTooLongError
@@ -131,7 +197,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res == nil {
 		return
 	}
-	writeJSON(w, QueryResponse{
+	resp := QueryResponse{
 		Answers:   res.Tuples,
 		Strategy:  string(res.Strategy),
 		Fragments: res.NumFragments,
@@ -141,7 +207,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EvalMs:    ms(res.EvalTime),
 		Cover:     res.Cover.String(),
 		CacheHit:  res.CacheHit,
-	})
+	}
+	if res.Explain != nil {
+		resp.Backend = res.Explain.Backend
+	}
+	writeJSON(w, resp)
 }
 
 // ExplainResponse is the /explain result: the strategy's chosen cover
@@ -246,6 +316,26 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	out := make([]StrategyInfo, 0, len(core.Strategies()))
 	for _, st := range core.Strategies() {
 		out = append(out, StrategyInfo{Name: string(st), Description: st.Description()})
+	}
+	writeJSON(w, out)
+}
+
+// BackendInfo describes one execution backend in GET /backends.
+type BackendInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Default     bool   `json:"default,omitempty"`
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	specs := core.BackendSpecs()
+	out := make([]BackendInfo, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, BackendInfo{
+			Name:        sp.Name,
+			Description: sp.Description,
+			Default:     sp.Name == s.defaultBackend,
+		})
 	}
 	writeJSON(w, out)
 }

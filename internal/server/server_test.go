@@ -380,3 +380,87 @@ func TestExplainEndpoint(t *testing.T) {
 }
 
 func bytesNewBuffer(s string) *bytes.Buffer { return bytes.NewBufferString(s) }
+
+func TestBackendsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []BackendInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("backends = %+v", infos)
+	}
+	names := map[string]bool{}
+	defaults := 0
+	for _, in := range infos {
+		names[in.Name] = true
+		if in.Description == "" {
+			t.Fatalf("backend %s has no description", in.Name)
+		}
+		if in.Default {
+			defaults++
+			if in.Name != "native" {
+				t.Fatalf("default backend = %s", in.Name)
+			}
+		}
+	}
+	if !names["native"] || !names["sql"] || !names["shard"] || defaults != 1 {
+		t.Fatalf("backends = %+v", infos)
+	}
+}
+
+func TestQueryPerRequestBackend(t *testing.T) {
+	srv := testServer(t)
+	want := ""
+	for _, backend := range []string{"", "native", "sql", "shard"} {
+		body := fmt.Sprintf(`{"query": "q(x) <- Researcher(x)", "strategy": "ucq", "backend": %q}`, backend)
+		resp, out := postQuery(t, srv, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend %q: status = %d", backend, resp.StatusCode)
+		}
+		wantName := backend
+		if backend == "" {
+			wantName = "native"
+		}
+		if out.Backend != wantName {
+			t.Fatalf("backend %q: response backend = %q", backend, out.Backend)
+		}
+		got := fmt.Sprint(out.Answers)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("backend %q answers %s, want %s", backend, got, want)
+		}
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := postQuery(t, srv, `{"query": "q(x) <- Researcher(x)", "backend": "duckdb"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	msg := e["error"]
+	if !strings.Contains(msg, "duckdb") || !strings.Contains(msg, "native") ||
+		!strings.Contains(msg, "sql") || !strings.Contains(msg, "shard") {
+		t.Fatalf("error = %q", msg)
+	}
+	// GET form validates the same way.
+	get, err := http.Get(srv.URL + "/explain?query=" + url.QueryEscape("q(x) <- Researcher(x)") + "&backend=duckdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET status = %d", get.StatusCode)
+	}
+}

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Alignment analysis: which relations of a plan can be evaluated
+// shard-local, and which must be read in full on every shard.
+//
+// The partitioning splits every relation on its first column, so a
+// plan evaluates correctly shard-by-shard when there is one partition
+// variable v such that every occurrence of every "partitioned"
+// relation binds v in its first argument: all rows contributing to a
+// match with v = a then live in shard hash(a), and the union of the
+// per-shard results is exactly the full result (the merge distinct
+// removes the duplicates broadcast relations can produce). Relations
+// that cannot be aligned stay broadcast — each shard reads their full
+// base table, which only ever adds rows a shard could miss, never
+// drops one.
+//
+// Across cover fragments the analysis must also make sure the
+// fragment hash-join equates v: if v is mentioned by more than one
+// fragment, it must appear in the head of each of them, otherwise two
+// fragments could match different v values inside one shard.
+
+// occurrence is one use of a relation in the extracted query.
+type occurrence struct {
+	pred  string
+	first query.Term
+}
+
+// fragment summarizes one joined subquery for the cross-fragment
+// alignment condition.
+type fragment struct {
+	vars map[string]bool // every variable mentioned anywhere in the fragment
+	head map[string]bool // the fragment's head variables
+}
+
+// analysis is the partitioning decision for one plan.
+type analysis struct {
+	// partVar is the chosen partition variable; empty when nothing
+	// aligns and the plan falls back to one full (unsharded) evaluation.
+	partVar string
+	// partitioned names the relations evaluated shard-local.
+	partitioned map[string]bool
+	// broadcast names the relations the plan touches but reads in full
+	// on every shard (sorted; diagnostics only).
+	broadcast []string
+}
+
+func (a analysis) aligned() bool { return a.partVar != "" }
+
+// describe renders the decision for EXPLAIN output.
+func (a analysis) describe(n int) string {
+	if !a.aligned() {
+		return fmt.Sprintf("%d shards, no co-partitioned alignment: single full evaluation", n)
+	}
+	parts := make([]string, 0, len(a.partitioned))
+	for name := range a.partitioned {
+		parts = append(parts, name)
+	}
+	sort.Strings(parts)
+	s := fmt.Sprintf("%d shards on %s: local %s", n, a.partVar, strings.Join(parts, ","))
+	if len(a.broadcast) > 0 {
+		s += " / broadcast " + strings.Join(a.broadcast, ",")
+	}
+	return s
+}
+
+// key identifies the view set the decision needs (cache key).
+func (a analysis) key() string {
+	if !a.aligned() {
+		return ""
+	}
+	parts := make([]string, 0, len(a.partitioned))
+	for name := range a.partitioned {
+		parts = append(parts, name)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x00")
+}
+
+// collect gathers every atom occurrence of the extracted query and one
+// fragment summary per joined subquery (a single-fragment dialect
+// yields one summary; the cross-fragment condition is then vacuous).
+func collect(lo plan.Lowered) (occs []occurrence, frags []fragment) {
+	newFrag := func(head []query.Term) *fragment {
+		f := &fragment{vars: map[string]bool{}, head: map[string]bool{}}
+		for _, t := range head {
+			if t.IsVar() {
+				f.head[t.Name] = true
+				f.vars[t.Name] = true
+			}
+		}
+		return f
+	}
+	addAtom := func(f *fragment, a query.Atom) {
+		if len(a.Args) > 0 {
+			occs = append(occs, occurrence{a.Pred, a.Args[0]})
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				f.vars[t.Name] = true
+			}
+		}
+	}
+	addUCQ := func(u query.UCQ) {
+		f := newFrag(u.Head())
+		for _, d := range u.Disjuncts {
+			for _, a := range d.Atoms {
+				addAtom(f, a)
+			}
+		}
+		frags = append(frags, *f)
+	}
+	addUSCQ := func(u query.USCQ) {
+		var head []query.Term
+		if len(u.Disjuncts) > 0 {
+			head = u.Disjuncts[0].Head
+		}
+		f := newFrag(head)
+		for _, s := range u.Disjuncts {
+			for _, b := range s.Blocks {
+				for _, a := range b {
+					addAtom(f, a)
+				}
+			}
+		}
+		frags = append(frags, *f)
+	}
+	switch lo.Kind {
+	case plan.KindUCQ:
+		addUCQ(lo.UCQ)
+	case plan.KindUSCQ:
+		addUSCQ(lo.USCQ)
+	case plan.KindJUCQ:
+		for _, u := range lo.JUCQ.Subs {
+			addUCQ(u)
+		}
+	case plan.KindJUSCQ:
+		for _, u := range lo.JUSCQ.Subs {
+			addUSCQ(u)
+		}
+	}
+	return occs, frags
+}
+
+// analyze picks the partition variable and relation split for one
+// extracted plan. Among the valid candidates it prefers the one whose
+// shard-local relations carry the most rows (statistics from the base
+// database), so the biggest scans are the ones that shrink N-fold;
+// ties break on relation count, then variable name, keeping the choice
+// deterministic.
+func analyze(lo plan.Lowered, st *engine.Statistics) analysis {
+	occs, frags := collect(lo)
+	if len(occs) == 0 {
+		return analysis{}
+	}
+	// Candidate partition variables: anything bound in first position.
+	candidates := map[string]bool{}
+	for _, o := range occs {
+		if o.first.IsVar() {
+			candidates[o.first.Name] = true
+		}
+	}
+	// Cross-fragment condition: a variable mentioned by several joined
+	// fragments is only equated across them when each lists it in its
+	// head.
+	for v := range candidates {
+		mentions := 0
+		headAll := true
+		for _, f := range frags {
+			if f.vars[v] {
+				mentions++
+				if !f.head[v] {
+					headAll = false
+				}
+			}
+		}
+		if mentions > 1 && !headAll {
+			delete(candidates, v)
+		}
+	}
+	best := analysis{}
+	bestWeight, bestCount := -1.0, -1
+	var names []string
+	for v := range candidates {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		// A relation is shard-local under v only when every one of its
+		// occurrences binds v first (a constant or another variable in
+		// first position forces broadcast: its rows may live in a
+		// different shard than the match).
+		misaligned := map[string]bool{}
+		for _, o := range occs {
+			if !(o.first.IsVar() && o.first.Name == v) {
+				misaligned[o.pred] = true
+			}
+		}
+		part := map[string]bool{}
+		weight := 0.0
+		for _, o := range occs {
+			if o.first.IsVar() && o.first.Name == v && !misaligned[o.pred] && !part[o.pred] {
+				part[o.pred] = true
+				weight += float64(st.CardConcept(o.pred) + st.CardRole(o.pred))
+			}
+		}
+		if len(part) == 0 {
+			continue
+		}
+		if weight > bestWeight || (weight == bestWeight && len(part) > bestCount) {
+			bestWeight, bestCount = weight, len(part)
+			best = analysis{partVar: v, partitioned: part}
+		}
+	}
+	if !best.aligned() {
+		return best
+	}
+	seen := map[string]bool{}
+	for _, o := range occs {
+		if !best.partitioned[o.pred] && !seen[o.pred] {
+			seen[o.pred] = true
+			best.broadcast = append(best.broadcast, o.pred)
+		}
+	}
+	sort.Strings(best.broadcast)
+	return best
+}

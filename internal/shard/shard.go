@@ -1,0 +1,188 @@
+// Package shard is the hash-partitioned execution backend: the third
+// plan.Backend, scaling the native streaming engine out across N
+// first-column shards of every concept and role table. A plan compiles
+// once per shard (reusing engine.Backend against a per-shard view),
+// the shard trees run concurrently under the existing parallel-union
+// operator, and a final distinct merges the answer streams. Joins
+// aligned on the partition column run entirely shard-local; relations
+// the alignment analysis (align.go) cannot align are broadcast — every
+// shard reads their full base table. Estimate sums the per-shard
+// figures so the cover search scores sharded plans through the same IR
+// it scores native and SQL plans.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// Backend executes logical plans against a hash-partitioned database.
+// It is safe for concurrent use.
+type Backend struct {
+	part *engine.Partitioning
+	prof *engine.Profile
+
+	mu    sync.Mutex
+	views map[string][]*engine.DB // analysis.key() → one view per shard
+}
+
+// New partitions db into n first-column hash shards and returns the
+// backend. Per-shard compilation uses a copy of prof with adaptive
+// feedback detached: shard-local scans see 1/n of every aligned
+// relation, and folding those fanouts into the shared feedback map
+// would corrupt the native backend's statistics (each backend keeps
+// its own — see the per-backend feedback work).
+func New(db *engine.DB, prof *engine.Profile, n int) (*Backend, error) {
+	part, err := engine.Partition(db, n)
+	if err != nil {
+		return nil, err
+	}
+	p := *prof
+	p.Feedback = nil
+	return &Backend{part: part, prof: &p, views: make(map[string][]*engine.DB)}, nil
+}
+
+// Name identifies the backend (it keys answer-cache entries).
+func (b *Backend) Name() string { return "shard" }
+
+// NumShards returns the shard count.
+func (b *Backend) NumShards() int { return b.part.NumShards() }
+
+// viewsFor returns the per-shard databases for one alignment decision,
+// cached by the partitioned relation set. A plan with no alignment
+// gets a single full view — evaluating an unaligned plan on every
+// shard would do n times the work only to deduplicate it away.
+func (b *Backend) viewsFor(an analysis) []*engine.DB {
+	if !an.aligned() {
+		return []*engine.DB{b.part.Base}
+	}
+	key := an.key()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if vs, ok := b.views[key]; ok {
+		return vs
+	}
+	vs := make([]*engine.DB, b.part.NumShards())
+	for i := range vs {
+		vs[i] = b.part.View(i, an.partitioned)
+	}
+	b.views[key] = vs
+	return vs
+}
+
+// analyzeViews extracts the plan, picks the alignment, and returns the
+// shard views to compile against.
+func (b *Backend) analyzeViews(n *plan.Node) (analysis, []*engine.DB, error) {
+	lo, err := plan.Extract(n)
+	if err != nil {
+		return analysis{}, nil, err
+	}
+	an := analyze(lo, b.part.Base.Stats())
+	return an, b.viewsFor(an), nil
+}
+
+// Compile lowers the plan once per shard view.
+func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) {
+	an, views, err := b.analyzeViews(n)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*engine.Compiled, len(views))
+	var est plan.Estimate
+	for i, v := range views {
+		c, err := engine.NewBackend(v, b.prof).CompilePlan(n)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, len(views), err)
+		}
+		parts[i] = c
+		e := c.Estimate()
+		est.Cost += e.Cost
+		est.Card += e.Card
+	}
+	return &executable{b: b, node: n, an: an, parts: parts, est: est}, nil
+}
+
+// Estimate sums the per-shard engine estimates: the cost of running
+// the plan on every shard (broadcast relations counted once per shard,
+// which is exactly the work done). Card double-counts rows produced by
+// more than one shard before the merge distinct — an upper bound, like
+// every union-arm estimate in the engine. Malformed plans cost +Inf,
+// delegated through the base engine backend.
+func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
+	_, views, err := b.analyzeViews(n)
+	if err != nil {
+		return engine.NewBackend(b.part.Base, b.prof).Estimate(n)
+	}
+	var est plan.Estimate
+	for _, v := range views {
+		e := engine.NewBackend(v, b.prof).Estimate(n)
+		est.Cost += e.Cost
+		est.Card += e.Card
+	}
+	return est
+}
+
+// executable is a compiled sharded plan: one engine compilation per
+// shard view plus the merge recipe. Physical operator state is built
+// per Run, so concurrent runs are independent.
+type executable struct {
+	b     *Backend
+	node  *plan.Node
+	an    analysis
+	parts []*engine.Compiled
+	est   plan.Estimate
+}
+
+// Estimate returns the summed per-shard estimate frozen at compile
+// time.
+func (e *executable) Estimate() plan.Estimate { return e.est }
+
+// Run builds one operator tree per shard, unions them under the
+// parallel union (the shard fan-out), deduplicates the merged stream,
+// and drains. The worker budget is split across shards — each shard
+// tree plans with workers/n — while the merging union spends the full
+// budget pulling shard streams concurrently; both go through
+// clampWorkers inside the engine, so the pool never oversubscribes
+// GOMAXPROCS.
+func (e *executable) Run(workers int) (*plan.RunResult, error) {
+	n := len(e.parts)
+	perShard := workers / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	roots := make([]engine.Operator, n)
+	annotate := make([]func(map[*plan.Node]*plan.ExplainNode), n)
+	for i, c := range e.parts {
+		roots[i], annotate[i] = c.Tree(perShard)
+	}
+	merged := engine.NewUnionParallel(roots[0].Schema(), roots, workers)
+	rel := engine.Drain(engine.NewDistinctOperator(merged))
+
+	shards := make([]*plan.ExplainNode, n)
+	for i, c := range e.parts {
+		sroot, at := plan.Skeleton(e.node)
+		annotate[i](at)
+		est := c.Estimate()
+		shards[i] = &plan.ExplainNode{
+			Op:         "shard",
+			Detail:     fmt.Sprintf("shard %d/%d", i, n),
+			EstRows:    est.Card,
+			EstCost:    est.Cost,
+			ActualRows: roots[i].Stats().Rows,
+			Children:   []*plan.ExplainNode{sroot},
+		}
+	}
+	root := &plan.ExplainNode{
+		Op:         "shard-merge",
+		Detail:     e.an.describe(e.b.NumShards()),
+		EstRows:    e.est.Card,
+		EstCost:    e.est.Cost,
+		ActualRows: int64(len(rel.Rows)),
+		Children:   shards,
+	}
+	ex := &plan.Explain{Backend: e.b.Name(), EstCost: e.est.Cost, EstCard: e.est.Card, Root: root}
+	return &plan.RunResult{Tuples: rel.Decode(e.b.part.Base.Dict), Explain: ex}, nil
+}

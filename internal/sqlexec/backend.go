@@ -11,6 +11,7 @@ package sqlexec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -22,11 +23,35 @@ import (
 type Backend struct {
 	DB      *engine.DB
 	Profile *engine.Profile
+
+	// observed is the backend's own cardinality feedback: actual
+	// whole-statement output counts per plan, keyed by the plan tree's
+	// canonical rendering and versioned by the data (stale observations
+	// die with the version). core.Answerer feeds it through Observe.
+	mu       sync.Mutex
+	observed map[obsKey]float64
+}
+
+type obsKey struct {
+	plan    string
+	dataVer uint64
 }
 
 // NewBackend wires the SQL backend over a database and profile.
 func NewBackend(db *engine.DB, prof *engine.Profile) *Backend {
-	return &Backend{DB: db, Profile: prof}
+	return &Backend{DB: db, Profile: prof, observed: make(map[obsKey]float64)}
+}
+
+// Observe records one execution's actual output cardinality — the only
+// counter the SQL surface reports (a real RDBMS exposes no per-operator
+// actuals without instrumentation). It implements plan.Observer.
+func (b *Backend) Observe(n *plan.Node, ex *plan.Explain) {
+	if n == nil || ex == nil || ex.Root == nil || ex.Root.ActualRows < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.observed[obsKey{n.String(), b.DB.Version()}] = float64(ex.Root.ActualRows)
+	b.mu.Unlock()
 }
 
 // Name identifies the backend in cache keys and EXPLAIN output.
@@ -60,10 +85,20 @@ func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) {
 	return &sqlExecutable{b: b, node: n, sql: sql, est: b.Estimate(n)}, nil
 }
 
-// Estimate delegates to the native engine's plan costing — the SQL
-// path executes the same logical plan, so it shares the estimator.
+// Estimate starts from the native engine's plan costing (the SQL path
+// executes the same logical plan and has no optimizer of its own) and
+// then overrides the cardinality with the backend's own observation of
+// this exact plan on the current data, when one exists — the SQL
+// path's feedback loop, independent of the native Profile.Feedback.
 func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
-	return engine.NewBackend(b.DB, b.Profile).Estimate(n)
+	est := engine.NewBackend(b.DB, b.Profile).Estimate(n)
+	b.mu.Lock()
+	card, ok := b.observed[obsKey{n.String(), b.DB.Version()}]
+	b.mu.Unlock()
+	if ok {
+		est.Card = card
+	}
+	return est
 }
 
 // sqlExecutable is one compiled statement.
