@@ -65,6 +65,18 @@ type ShardEntry struct {
 	BytesPerOp int64   `json:"bytes_per_op"`
 	Speedup    float64 `json:"speedup_vs_native"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	// Warning is set when the run cannot show what the series is for
+	// (e.g. a single-core run cannot show parallel speedup).
+	Warning string `json:"warning,omitempty"`
+}
+
+// shardWarning qualifies a shard series point measured without cores
+// to spread over.
+func shardWarning() string {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return "single-core run (GOMAXPROCS=1): the shard series measures partition overhead, not parallel speedup"
+	}
+	return ""
 }
 
 // shardSeries measures the native serial baseline and the shard
@@ -101,7 +113,7 @@ func shardSeries(env *exp.Env) ([]ShardEntry, error) {
 		}
 		series = append(series, ShardEntry{
 			Query: q.Name, Shards: 0, NsPerOp: baseNs, BytesPerOp: baseBytes,
-			Speedup: 1, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Speedup: 1, GoMaxProcs: runtime.GOMAXPROCS(0), Warning: shardWarning(),
 		})
 		fmt.Printf("%-24s %14.0f ns/op %10d B/op  (native baseline)\n", q.Name+"/native", baseNs, baseBytes)
 		for _, n := range []int{1, 2, 4, 8} {
@@ -115,7 +127,7 @@ func shardSeries(env *exp.Env) ([]ShardEntry, error) {
 			}
 			series = append(series, ShardEntry{
 				Query: q.Name, Shards: n, NsPerOp: ns, BytesPerOp: bytes,
-				Speedup: baseNs / ns, GoMaxProcs: runtime.GOMAXPROCS(0),
+				Speedup: baseNs / ns, GoMaxProcs: runtime.GOMAXPROCS(0), Warning: shardWarning(),
 			})
 			fmt.Printf("%-24s %14.0f ns/op %10d B/op  %5.2fx vs native\n",
 				fmt.Sprintf("%s/shard-n%d", q.Name, n), ns, bytes, baseNs/ns)

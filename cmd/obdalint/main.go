@@ -1,0 +1,59 @@
+// Command obdalint runs the repo's custom static-analysis suite (see
+// internal/lint): opcontract (operator lifecycle), lockorder (mutex
+// discipline), and cowrewrite (plan-IR copy-on-write).
+//
+// Usage:
+//
+//	go run ./cmd/obdalint [packages]
+//
+// Packages are directory patterns relative to the module root ("./..."
+// by default). Exit status 1 when findings are reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obdalint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obdalint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := prog.Run(lint.All...)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("obdalint: %d packages, %d analyzers, no findings\n", len(prog.Pkgs), len(lint.All))
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -271,6 +271,11 @@ func (a *Answerer) AnswerWith(q query.CQ, s Strategy, backend plan.Backend) (*Re
 	return a.execute(cp, res, backend)
 }
 
+// rewritePlan is the IR simplification pass buildPlan applies; a
+// variable so tests can substitute a deliberately broken rewrite and
+// prove plan.Validate catches its output at plan time.
+var rewritePlan = plan.Rewrite
+
 // buildPlan is the cacheable front half of Answer: choose the cover,
 // reformulate it, generate the SQL, and plan the evaluation. It fills
 // res's search fields (fresh searches only reach here).
@@ -355,7 +360,15 @@ func (a *Answerer) buildPlan(q query.CQ, s Strategy, res *Result, backend plan.B
 	// Backend-neutral IR simplification (single-arm union collapse,
 	// nested project merge) — applied here so every backend compiles
 	// the same rewritten tree the search estimators scored.
-	cp.ir = plan.Rewrite(cp.ir)
+	// rewritePlan is a variable only so tests can stand in a broken
+	// rewrite and assert plan.Validate rejects its output.
+	cp.ir = rewritePlan(cp.ir)
+	// Machine-checked invariants on the rewritten tree: a bad lowering
+	// or a buggy rewrite rule fails here, before any backend compiles
+	// it — not as silently wrong rows.
+	if err := plan.Validate(cp.ir); err != nil {
+		return nil, err
+	}
 	exec, err := backend.Compile(cp.ir)
 	if err != nil {
 		return nil, err

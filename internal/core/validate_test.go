@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// TestCorruptedRewriteCaughtByValidate stands a deliberately broken
+// rewrite rule into the Answerer's pipeline — one that renames a
+// projected head variable to a variable no access binds — and asserts
+// every backend fails the query with a plan-validation error. Without
+// the Validate gate this exact corruption returns zero rows silently
+// (the native projectOp marks unbound head variables dead and drops
+// everything).
+func TestCorruptedRewriteCaughtByValidate(t *testing.T) {
+	orig := rewritePlan
+	rewritePlan = func(n *plan.Node) *plan.Node { return corruptHeadVar(plan.Rewrite(n)) }
+	defer func() { rewritePlan = orig }()
+
+	a := lubmAnswerer(t)
+	q := lubm.Queries()[1]
+	for _, spec := range BackendSpecs() {
+		backend, err := NewBackendByName(spec.Name, a.DB, a.Profile, 2)
+		if err != nil {
+			t.Fatalf("%s: NewBackendByName: %v", spec.Name, err)
+		}
+		res, err := a.AnswerWith(q, StrategyGDLExt, backend)
+		if err == nil {
+			t.Fatalf("%s: corrupted rewrite answered with %d tuples, want a validation error",
+				spec.Name, len(res.Tuples))
+		}
+		if !strings.Contains(err.Error(), "plan: validate:") {
+			t.Fatalf("%s: error %q does not come from plan.Validate", spec.Name, err)
+		}
+	}
+}
+
+// corruptHeadVar clones the path to the first variable-headed Project
+// and renames that variable to one nothing binds.
+func corruptHeadVar(n *plan.Node) *plan.Node {
+	if n.Op == plan.OpProject {
+		for i, term := range n.Head {
+			if term.IsVar() {
+				m := *n
+				m.Head = append([]query.Term(nil), n.Head...)
+				m.Head[i] = query.Var("__corrupt")
+				return &m
+			}
+		}
+	}
+	for i, in := range n.Inputs {
+		if r := corruptHeadVar(in); r != in {
+			m := *n
+			m.Inputs = append([]*plan.Node(nil), n.Inputs...)
+			m.Inputs[i] = r
+			return &m
+		}
+	}
+	return n
+}

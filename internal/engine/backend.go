@@ -44,8 +44,14 @@ type Compiled struct {
 	juscq *JUSCQPlan
 }
 
-// lower extracts the tree and plans it under the profile.
+// lower validates the tree, extracts it, and plans it under the
+// profile. Validation runs here — not only in core — so plans handed
+// to the backend directly are checked too; Estimate maps the error to
+// a +Inf cost.
 func (b *Backend) lower(n *plan.Node) (*Compiled, error) {
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
 	lo, err := plan.Extract(n)
 	if err != nil {
 		return nil, err

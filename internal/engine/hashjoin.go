@@ -262,12 +262,19 @@ func (o *hashJoinOp) expand(level int) {
 	}
 }
 
-// Close closes the probe pipeline. Build pipelines were already closed
-// by load() during Open (they are drained exactly once per execution),
-// so they are not closed again — double-closing would double-count
-// their cardinality feedback.
+// Close closes the probe pipeline and every build child. Build
+// pipelines were already drained and closed by load() during Open, so
+// their Close here is a no-op through the closeOnce guard — it exists
+// so the operator honors the contract (Close closes everything
+// Children reports) without double-counting cardinality feedback.
 func (o *hashJoinOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
 	o.probe.Close()
+	for _, bt := range o.builds {
+		bt.child.Close()
+	}
 }
 
 func (o *hashJoinOp) Children() []Operator {

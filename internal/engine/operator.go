@@ -98,22 +98,41 @@ type Operator interface {
 	Children() []Operator
 }
 
-// opBase carries the shared schema and emit counters.
+// opBase carries the shared schema, emit counters, and the open/closed
+// lifecycle bit behind closeOnce.
 type opBase struct {
 	name    string
 	schema  []string
 	batches int64
 	rows    int64
+	opened  bool
 }
 
 func (o *opBase) Schema() []string { return o.schema }
 
-// resetStats zeroes the emit counters; every operator calls it from
-// Open so a reused (compiled-once) tree reports per-execution
-// cardinalities, keeping Stats, ExplainPipeline, and the feedback
-// flushed at Close scoped to one execution.
+// resetStats zeroes the emit counters and arms closeOnce; every
+// operator calls it from Open so a reused (compiled-once) tree reports
+// per-execution cardinalities, keeping Stats, ExplainPipeline, and the
+// feedback flushed at Close scoped to one execution.
 func (o *opBase) resetStats() {
 	o.batches, o.rows = 0, 0
+	o.opened = true
+}
+
+// closeOnce reports whether this Close call balances a prior Open,
+// flipping the operator to closed. Every non-trivial Close guards its
+// side effects (child closes, feedback flushes) with it, making double
+// Close and Close-without-Open safe no-ops — the idempotency half of
+// the Operator contract, machine-checked by internal/lint's opcontract
+// analyzer. Operators are single-consumer, so no locking is needed;
+// concurrent closers (parallel union workers vs the consumer) are
+// ordered by the worker WaitGroup.
+func (o *opBase) closeOnce() bool {
+	if !o.opened {
+		return false
+	}
+	o.opened = false
+	return true
 }
 
 func (o *opBase) Stats() OpStats {
@@ -289,6 +308,9 @@ func (o *scanOp) Next(out *Batch) bool {
 }
 
 func (o *scanOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
 	// A source scan has one conceptual input row; the observed ratio is
 	// therefore the scanned cardinality itself.
 	o.prof.observeStep(o.join.pred, o.join.access, 1, o.rows)
@@ -508,6 +530,9 @@ func (o *filterOp) Next(out *Batch) bool {
 }
 
 func (o *filterOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
 	o.child.Close()
 	o.prof.observeStep(o.join.pred, o.join.access, o.rowsIn, o.rows)
 }
@@ -615,6 +640,9 @@ func (o *joinOp) emitMatch(out *Batch) {
 }
 
 func (o *joinOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
 	o.child.Close()
 	if len(o.alts) == 1 {
 		o.prof.observeStep(o.alts[0].pred, o.alts[0].access, o.rowsIn, o.rows)
@@ -685,7 +713,12 @@ func (o *projectOp) Next(out *Batch) bool {
 	return o.yield(out)
 }
 
-func (o *projectOp) Close()               { o.child.Close() }
+func (o *projectOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
+	o.child.Close()
+}
 func (o *projectOp) Children() []Operator { return []Operator{o.child} }
 
 // --- streaming distinct ---
@@ -732,7 +765,12 @@ func (o *distinctOp) Next(out *Batch) bool {
 	return o.yield(out)
 }
 
-func (o *distinctOp) Close()               { o.child.Close() }
+func (o *distinctOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
+	o.child.Close()
+}
 func (o *distinctOp) Children() []Operator { return []Operator{o.child} }
 
 // --- sequential union ---
@@ -769,6 +807,9 @@ func (o *unionOp) Next(out *Batch) bool {
 }
 
 func (o *unionOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
 	for _, c := range o.children {
 		c.Close()
 	}

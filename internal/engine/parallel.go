@@ -105,12 +105,22 @@ func (o *unionParallelOp) Next(out *Batch) bool {
 }
 
 func (o *unionParallelOp) Close() {
-	if o.results == nil {
-		return // never opened
+	if !o.closeOnce() {
+		return
 	}
 	o.stopped.Do(func() { close(o.stop) })
 	// Unblock any producer and wait for the workers to finish.
 	for range o.results {
+	}
+	// The workers have exited (results closes only after wg.Wait), so
+	// closing every child here is race-free. Children a worker already
+	// drained were closed by drainChild, and children never picked up
+	// were never opened — both make this a no-op through their own
+	// closeOnce guard. What it catches is the early-close case: a child
+	// interrupted mid-stream by the stop channel, whose deferred Close
+	// ran, plus any child whose state outlives its worker.
+	for _, c := range o.children {
+		c.Close()
 	}
 }
 

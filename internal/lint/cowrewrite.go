@@ -1,0 +1,169 @@
+package lint
+
+// cowrewrite enforces the plan package's copy-on-write rule: logical
+// plan nodes (*plan.Node) are shared immutable values — rewrite rules
+// and any helper receiving a *Node must build modified copies
+// (m := *n; m.X = ...; return &m), never assign through the pointer
+// they were handed. Violations silently corrupt every other plan (and
+// every cache entry) sharing the subtree.
+//
+// The analyzer runs on packages named "plan" and flags, for each
+// function with a *Node parameter: field or element assignments rooted
+// at the parameter or one of its pointer aliases (m := n, range values
+// of n.Inputs), and whole-value stores (*n = ...). A value copy
+// (m := *n) is the sanctioned idiom and never tainted.
+
+import (
+	"go/ast"
+)
+
+// CowRewrite is the copy-on-write analyzer for the plan IR.
+var CowRewrite = &Analyzer{
+	Name: "cowrewrite",
+	Doc:  "plan rewrite rules must copy *Node values, never mutate through a parameter",
+	Run:  runCowRewrite,
+}
+
+func runCowRewrite(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Pkgs {
+		if pkg.Name != "plan" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, checkCow(p, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// nodeParams returns the names of parameters (and pointer receivers)
+// typed *Node.
+func nodeParams(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			star, ok := fld.Type.(*ast.StarExpr)
+			if !ok || typeName(star.X) != "Node" {
+				continue
+			}
+			for _, name := range fld.Names {
+				out[name.Name] = true
+			}
+		}
+	}
+	add(fd.Type.Params)
+	add(fd.Recv)
+	return out
+}
+
+func checkCow(p *Program, fd *ast.FuncDecl) []Finding {
+	tainted := nodeParams(fd)
+	if len(tainted) == 0 {
+		return nil
+	}
+	var out []Finding
+	flag := func(pos ast.Node, via string) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos.Pos()),
+			Analyzer: "cowrewrite",
+			Message:  fd.Name.Name + " mutates shared *Node " + via + "; copy first (m := *" + via + ")",
+		})
+	}
+	// rootIdent finds the base identifier of a selector/index chain.
+	var rootIdent func(e ast.Expr) *ast.Ident
+	rootIdent = func(e ast.Expr) *ast.Ident {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return rootIdent(x.X)
+		case *ast.IndexExpr:
+			return rootIdent(x.X)
+		case *ast.StarExpr:
+			return rootIdent(x.X)
+		case *ast.ParenExpr:
+			return rootIdent(x.X)
+		}
+		return nil
+	}
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.AssignStmt:
+				// Alias tracking first: m := n taints m, m := *n does not.
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, lhs := range st.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if rid, isID := st.Rhs[i].(*ast.Ident); isID && tainted[rid.Name] {
+							tainted[id.Name] = true
+						} else {
+							delete(tainted, id.Name)
+						}
+					}
+				}
+				for _, lhs := range st.Lhs {
+					if _, isID := lhs.(*ast.Ident); isID {
+						continue // plain variable (re)binding, handled above
+					}
+					if id := rootIdent(lhs); id != nil && tainted[id.Name] {
+						flag(st, id.Name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id := rootIdent(st.X); id != nil && tainted[id.Name] {
+					flag(st, id.Name)
+				}
+			case *ast.RangeStmt:
+				// Ranging over n.Inputs hands out shared *Node elements.
+				if id := rootIdent(st.X); id != nil && tainted[id.Name] {
+					if v, ok := st.Value.(*ast.Ident); ok {
+						tainted[v.Name] = true
+					}
+				}
+				walk(st.Body.List)
+			case *ast.IfStmt:
+				if st.Init != nil {
+					walk([]ast.Stmt{st.Init})
+				}
+				walk(st.Body.List)
+				if st.Else != nil {
+					walk([]ast.Stmt{st.Else})
+				}
+			case *ast.ForStmt:
+				walk(st.Body.List)
+			case *ast.BlockStmt:
+				walk(st.List)
+			case *ast.SwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{st.Stmt})
+			}
+		}
+	}
+	walk(fd.Body.List)
+	return out
+}

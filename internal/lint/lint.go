@@ -1,0 +1,283 @@
+// Package lint is the repo's custom static-analysis suite: machine
+// checks for the engine's operator lifecycle contract (opcontract),
+// the lock discipline around channels and blocking calls (lockorder),
+// and the copy-on-write rule of the plan-IR rewrite pass (cowrewrite).
+//
+// The analyzers are purely syntactic — go/parser and go/ast over the
+// module's source, no go/types and no external driver. Type
+// information would make resolution exact, but the stdlib's
+// source-mode importer is unreliable under module layouts, and the
+// x/tools analysis driver is a dependency this module deliberately
+// avoids. The invariants checked here are local and structural enough
+// that name-based resolution over declared receiver and field types
+// catches every real shape in this repo; the testdata fixtures pin
+// exactly what each analyzer can and cannot see.
+//
+// Findings can be suppressed with a comment on the offending line or
+// the line above:
+//
+//	//obdalint:ignore <analyzer> <reason>
+//
+// The reason is mandatory by convention (the fixture tests enforce the
+// analyzer name only); an ignore without an analyzer name suppresses
+// every analyzer on that line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Program) []Finding
+}
+
+// All lists every analyzer in the suite, in report order.
+var All = []*Analyzer{OpContract, LockOrder, CowRewrite}
+
+// File is one parsed source file.
+type File struct {
+	Path string
+	AST  *ast.File
+}
+
+// Package groups the files of one directory.
+type Package struct {
+	Name       string // package clause name
+	ImportPath string // module path + relative dir; "" when no go.mod
+	Dir        string
+	Files      []*File
+}
+
+// Program is a loaded source tree plus its suppression table.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// suppress maps file path -> line -> analyzer names ignored there
+	// ("" ignores all). A suppression on line L covers findings on L
+	// and L+1 (comment-above style).
+	suppress map[string]map[int][]string
+}
+
+// Load parses the packages under root selected by patterns. A pattern
+// is either a directory ("./x", "internal/plan") or a recursive walk
+// ("./...", "./internal/..."). Walks skip testdata, vendor, hidden and
+// underscore-prefixed directories; _test.go files are never loaded
+// (the analyzers check production invariants). With no patterns,
+// "./..." is assumed.
+func Load(root string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	module := moduleName(root)
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Fset:     token.NewFileSet(),
+		suppress: make(map[string]map[int][]string),
+	}
+	for _, dir := range dirs {
+		pkg, err := p.loadDir(root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			p.Pkgs = append(p.Pkgs, pkg)
+		}
+	}
+	return p, nil
+}
+
+// moduleName reads the module path from root's go.mod, or "".
+func moduleName(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// expand resolves patterns to the list of directories to load.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, pat)
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses one directory's non-test files into a Package, or nil
+// when the directory holds no Go source.
+func (p *Program) loadDir(root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(p.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if f.Name.Name != pkg.Name {
+			// A stray second package in one directory: keep the first.
+			continue
+		}
+		pkg.Files = append(pkg.Files, &File{Path: path, AST: f})
+		p.scanSuppressions(path, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	if module != "" {
+		if rel, err := filepath.Rel(root, dir); err == nil {
+			if rel == "." {
+				pkg.ImportPath = module
+			} else {
+				pkg.ImportPath = module + "/" + filepath.ToSlash(rel)
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// scanSuppressions records every //obdalint:ignore comment in f.
+func (p *Program) scanSuppressions(path string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "obdalint:ignore")
+			if !ok {
+				continue
+			}
+			name := ""
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				name = fields[0]
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			if p.suppress[path] == nil {
+				p.suppress[path] = make(map[int][]string)
+			}
+			p.suppress[path][line] = append(p.suppress[path][line], name)
+		}
+	}
+}
+
+func (p *Program) suppressed(f Finding) bool {
+	lines := p.suppress[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, at := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, name := range lines[at] {
+			if name == "" || name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers, drops suppressed findings, and returns
+// the rest sorted by position.
+func (p *Program) Run(analyzers ...*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(p) {
+			if !p.suppressed(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

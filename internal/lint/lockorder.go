@@ -1,0 +1,381 @@
+package lint
+
+// lockorder checks the module's lock discipline: while a sync.Mutex or
+// sync.RWMutex is held, a function must not
+//
+//   - send on a channel (the consumer may never drain it),
+//   - acquire another lock (nested acquisition — ordering hazards),
+//   - call a potentially long-blocking entry point by name (Answer,
+//     AnswerWith, Run, Wait, Drain), or
+//   - call a function that transitively locks or sends.
+//
+// Lock regions are tracked per function: X.Lock()/X.RLock() opens a
+// region on the path of X, X.Unlock()/X.RUnlock() closes it, and a
+// deferred unlock holds it to the end of the function. The transitive
+// "may block" property is propagated over a syntactic call graph:
+// same-package calls, imported-package calls (pkg.Fn), receiver-method
+// calls (including one level of embedding), and method calls through
+// declared receiver field types (b.DB.Version() with DB *engine.DB).
+// Interface method calls and calls on local variables are not resolved
+// — the analyzer under-approximates there; function literals are never
+// entered (their bodies run under another frame's discipline).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockOrder is the lock-discipline analyzer.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "No channel sends, nested lock acquisitions, or blocking calls while holding a mutex",
+	Run:  runLockOrder,
+}
+
+// denyNames are method names that mark long-running work regardless of
+// whether the callee resolves: the answering entry points and the
+// pipeline drains.
+var denyNames = map[string]bool{
+	"Answer": true, "AnswerWith": true, "Run": true, "Wait": true, "Drain": true,
+}
+
+// loFunc is one function in the syntactic call graph.
+type loFunc struct {
+	decl    *ast.FuncDecl
+	pkg     *Package
+	imports map[string]string // the declaring file's import table
+
+	directWhy string // non-empty when the body itself locks or sends
+	calls     map[string]bool
+
+	blocking bool
+	why      string
+}
+
+type loProgram struct {
+	funcs map[string]*loFunc
+	// structs and methods per package import path
+	structs map[string]map[string]*structInfo
+	methods map[string]map[string]map[string]*ast.FuncDecl
+}
+
+func runLockOrder(p *Program) []Finding {
+	lp := buildGraph(p)
+	lp.propagate()
+	var out []Finding
+	for _, lf := range lp.funcs {
+		out = append(out, lp.checkRegions(p, lf)...)
+	}
+	return out
+}
+
+func funcKey(pkgPath, recvType, name string) string {
+	if recvType != "" {
+		return pkgPath + "." + recvType + "." + name
+	}
+	return pkgPath + "." + name
+}
+
+func buildGraph(p *Program) *loProgram {
+	lp := &loProgram{
+		funcs:   map[string]*loFunc{},
+		structs: map[string]map[string]*structInfo{},
+		methods: map[string]map[string]map[string]*ast.FuncDecl{},
+	}
+	for _, pkg := range p.Pkgs {
+		lp.structs[pkg.ImportPath] = structTable(pkg)
+		lp.methods[pkg.ImportPath] = methodTable(pkg)
+		for _, f := range pkg.Files {
+			imports := importTable(f.AST)
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lf := &loFunc{decl: fd, pkg: pkg, imports: imports, calls: map[string]bool{}}
+				lp.scanBody(lf)
+				lp.funcs[funcKey(pkg.ImportPath, recvType(fd), fd.Name.Name)] = lf
+			}
+		}
+	}
+	return lp
+}
+
+// scanBody records a function's direct blocking behavior and resolved
+// call edges. Function literals are skipped throughout.
+func (lp *loProgram) scanBody(lf *loFunc) {
+	inspectNoFuncLit(lf.decl.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if lf.directWhy == "" {
+				lf.directWhy = "sends on a channel"
+			}
+		case *ast.CallExpr:
+			if base, name, _, ok := selCall(x); ok {
+				if name == "Lock" || name == "RLock" {
+					if lf.directWhy == "" {
+						lf.directWhy = "acquires a lock"
+					}
+					_ = base
+				}
+			}
+			if key, ok := lp.resolveCall(lf, x); ok {
+				lf.calls[key] = true
+			}
+		}
+	})
+}
+
+// inspectNoFuncLit is ast.Inspect minus function-literal bodies.
+func inspectNoFuncLit(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// resolveCall maps a call expression to a function key, syntactically.
+func (lp *loProgram) resolveCall(lf *loFunc, call *ast.CallExpr) (string, bool) {
+	self := lf.pkg.ImportPath
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		key := funcKey(self, "", fun.Name)
+		if _, ok := lp.funcs[key]; ok {
+			return key, true
+		}
+	case *ast.SelectorExpr:
+		method := fun.Sel.Name
+		switch base := fun.X.(type) {
+		case *ast.Ident:
+			// pkg.Fn through the imports.
+			if path, ok := lf.imports[base.Name]; ok {
+				return funcKey(path, "", method), true
+			}
+			// recv.Method, including one level of embedding.
+			if base.Name == recvName(lf.decl) {
+				tn := recvType(lf.decl)
+				if key, ok := lp.methodKey(self, tn, method); ok {
+					return key, true
+				}
+			}
+		case *ast.SelectorExpr:
+			// recv.Field.Method through the declared field type.
+			if id, ok := base.X.(*ast.Ident); ok && id.Name == recvName(lf.decl) {
+				tn := recvType(lf.decl)
+				if st := lp.structs[self][tn]; st != nil {
+					if ref, ok := st.fields[base.Sel.Name]; ok && ref.Name != "" {
+						if key, ok := lp.methodKey(ref.Pkg, ref.Name, method); ok {
+							return key, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// methodKey finds method on type tn in package pkgPath, falling back
+// to one level of embedded types.
+func (lp *loProgram) methodKey(pkgPath, tn, method string) (string, bool) {
+	if _, ok := lp.methods[pkgPath][tn][method]; ok {
+		return funcKey(pkgPath, tn, method), true
+	}
+	if st := lp.structs[pkgPath][tn]; st != nil {
+		for _, emb := range st.embeds {
+			if _, ok := lp.methods[emb.Pkg][emb.Name][method]; ok {
+				return funcKey(emb.Pkg, emb.Name, method), true
+			}
+		}
+	}
+	return "", false
+}
+
+// propagate runs the may-block fixpoint over the call graph.
+func (lp *loProgram) propagate() {
+	for _, lf := range lp.funcs {
+		if lf.directWhy != "" {
+			lf.blocking = true
+			lf.why = lf.directWhy
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, lf := range lp.funcs {
+			if lf.blocking {
+				continue
+			}
+			for callee := range lf.calls {
+				if c := lp.funcs[callee]; c != nil && c.blocking {
+					lf.blocking = true
+					lf.why = "calls " + callee + ", which " + c.why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// heldLock is one open lock region.
+type heldLock struct {
+	path string
+	pos  token.Pos
+}
+
+// checkRegions walks one function flagging violations inside its lock
+// regions.
+func (lp *loProgram) checkRegions(p *Program, lf *loFunc) []Finding {
+	fd := lf.decl
+	if fd.Body == nil {
+		return nil
+	}
+	env := newPathEnv(recvName(fd))
+	var held []heldLock
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "lockorder",
+			Message:  msg + " while holding " + held[len(held)-1].path,
+		})
+	}
+	lockPath := func(call *ast.CallExpr) (string, string, bool) {
+		base, name, _, ok := selCall(call)
+		if !ok {
+			return "", "", false
+		}
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			path, ok := env.resolve(base)
+			if !ok || path == "" {
+				// Fall back to the printed expression so unresolved
+				// mutexes (package-level, locals) still pair up.
+				path = exprString(base)
+			}
+			return path, name, path != ""
+		}
+		return "", "", false
+	}
+
+	walkWithEnv(fd.Body.List, env, func(s ast.Stmt) {
+		// Lock/Unlock bookkeeping on direct call statements.
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if path, op, ok := lockPath(call); ok {
+					switch op {
+					case "Lock", "RLock":
+						if len(held) > 0 && held[len(held)-1].path != path {
+							report(call.Pos(), "acquires "+path)
+						}
+						held = append(held, heldLock{path: path, pos: call.Pos()})
+					case "Unlock", "RUnlock":
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i].path == path {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					}
+					return
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the region open to function end;
+			// nothing to do. Other deferred calls run after the region.
+			return
+		}
+		if len(held) == 0 {
+			return
+		}
+		// Inside a region: flag sends and blocking calls. Compound
+		// statements are inspected only through their expression parts
+		// — walkWithEnv visits their inner statements separately, and
+		// inspecting the whole subtree here would double-report.
+		var scope []ast.Node
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			if st.Cond != nil {
+				scope = append(scope, st.Cond)
+			}
+		case *ast.ForStmt:
+			if st.Cond != nil {
+				scope = append(scope, st.Cond)
+			}
+			if st.Post != nil {
+				scope = append(scope, st.Post)
+			}
+		case *ast.RangeStmt:
+			scope = append(scope, st.X)
+		case *ast.SwitchStmt:
+			if st.Tag != nil {
+				scope = append(scope, st.Tag)
+			}
+		case *ast.TypeSwitchStmt:
+			if st.Assign != nil {
+				scope = append(scope, st.Assign)
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					scope = append(scope, cc.Comm)
+				}
+			}
+		case *ast.BlockStmt, *ast.LabeledStmt:
+			// inner statements visited by recursion
+		default:
+			scope = append(scope, s)
+		}
+		visitInScope := func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				report(x.Pos(), "sends on a channel")
+			case *ast.CallExpr:
+				if path, op, ok := lockPath(x); ok {
+					// Nested ExprStmt bookkeeping already handled
+					// top-level calls; here only non-statement lock
+					// calls remain, and pairing is ambiguous — only
+					// flag acquisitions of other locks.
+					if (op == "Lock" || op == "RLock") && path != held[len(held)-1].path {
+						report(x.Pos(), "acquires "+path)
+					}
+					return
+				}
+				if _, name, _, ok := selCall(x); ok && denyNames[name] {
+					report(x.Pos(), "calls "+name)
+					return
+				}
+				if key, ok := lp.resolveCall(lf, x); ok {
+					if c := lp.funcs[key]; c != nil && c.blocking {
+						report(x.Pos(), "calls "+key+", which "+c.why+",")
+					}
+				}
+			}
+		}
+		for _, n := range scope {
+			inspectNoFuncLit(n, visitInScope)
+		}
+	})
+	return out
+}
+
+// exprString renders simple selector chains for lock-path fallback.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprString(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return ""
+}

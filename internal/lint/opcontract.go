@@ -1,0 +1,284 @@
+package lint
+
+// opcontract checks the engine's Operator lifecycle contract on every
+// type that structurally implements it (methods Next(*Batch) bool,
+// Close(), Children() []Operator):
+//
+//  1. Close must close every child Children() reports — children are
+//     resolved to receiver-relative paths (o.child, o.children ranged,
+//     o.builds[].child) and Close (plus one level of same-type helper
+//     calls) must call .Close() on each path.
+//  2. A Close with side effects must guard them behind closeOnce():
+//     parents may close a child that another path already closed, so
+//     Close is contractually idempotent.
+//  3. Next must not store the received *Batch — or anything derived
+//     from it (aliases, &b, b.Row(...)) — into a receiver field. The
+//     caller owns the batch and recycles it; retaining it aliases
+//     future batches' storage. Scalar reads (b.Len(), b.Width()) are
+//     fine.
+
+import (
+	"go/ast"
+)
+
+// OpContract is the operator-lifecycle analyzer.
+var OpContract = &Analyzer{
+	Name: "opcontract",
+	Doc:  "Operator impls: Close closes all children and is idempotent via closeOnce; Next never retains the caller's batch",
+	Run:  runOpContract,
+}
+
+func runOpContract(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Pkgs {
+		methods := methodTable(pkg)
+		for tn, ms := range methods {
+			next, close_, children := ms["Next"], ms["Close"], ms["Children"]
+			if next == nil || close_ == nil || children == nil || !isOperatorNext(next) {
+				continue
+			}
+			out = append(out, checkClose(p, tn, close_, children, ms)...)
+			out = append(out, checkNextRetention(p, tn, next)...)
+		}
+	}
+	return out
+}
+
+// isOperatorNext matches the signature Next(*Batch) bool (the Batch
+// type matched by name — *Batch or *engine.Batch).
+func isOperatorNext(fd *ast.FuncDecl) bool {
+	ft := fd.Type
+	if ft.Params == nil || len(ft.Params.List) != 1 {
+		return false
+	}
+	star, ok := ft.Params.List[0].Type.(*ast.StarExpr)
+	if !ok || typeName(star.X) != "Batch" {
+		return false
+	}
+	return ft.Results != nil && len(ft.Results.List) == 1 && typeName(ft.Results.List[0].Type) == "bool"
+}
+
+func checkClose(p *Program, tn string, close_, children *ast.FuncDecl, ms map[string]*ast.FuncDecl) []Finding {
+	var out []Finding
+	pos := p.Fset.Position(close_.Pos())
+
+	required := childPaths(children)
+	closed, callsGuard := closeEffects(close_, ms, 1)
+	for _, cp := range required {
+		if !closed[cp] {
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "opcontract",
+				Message:  tn + ".Close does not close child " + cp + " reported by Children",
+			})
+		}
+	}
+	if close_.Body != nil && len(close_.Body.List) > 0 && !callsGuard {
+		out = append(out, Finding{
+			Pos:      pos,
+			Analyzer: "opcontract",
+			Message:  tn + ".Close has side effects but no closeOnce() guard; Close must be idempotent",
+		})
+	}
+	return out
+}
+
+// childPaths collects the receiver-relative paths of every child
+// expression Children can report: composite-literal elements, append
+// arguments, and directly returned slice fields (whose elements get
+// the path suffix "[]").
+func childPaths(fd *ast.FuncDecl) []string {
+	if fd.Body == nil {
+		return nil
+	}
+	env := newPathEnv(recvName(fd))
+	seen := map[string]bool{}
+	var paths []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			paths = append(paths, path)
+		}
+	}
+	addExpr := func(e ast.Expr) {
+		if path, ok := env.resolve(e); ok && path != "" {
+			add(path)
+		}
+	}
+	walkWithEnv(fd.Body.List, env, func(s ast.Stmt) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					addExpr(el)
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+					for i, a := range x.Args {
+						if i == 0 {
+							continue
+						}
+						if x.Ellipsis.IsValid() && i == len(x.Args)-1 {
+							if path, ok := env.resolve(a); ok && path != "" {
+								add(path + "[]")
+							}
+							continue
+						}
+						addExpr(a)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if path, ok := env.resolve(r); ok && path != "" {
+						add(path + "[]")
+					}
+				}
+			}
+			return true
+		})
+	})
+	return paths
+}
+
+// closeEffects walks a Close method (and, at depth > 0, same-type
+// helper methods it calls) collecting the set of closed child paths
+// and whether closeOnce() is called.
+func closeEffects(fd *ast.FuncDecl, ms map[string]*ast.FuncDecl, depth int) (map[string]bool, bool) {
+	closed := map[string]bool{}
+	guard := false
+	if fd.Body == nil {
+		return closed, guard
+	}
+	recv := recvName(fd)
+	env := newPathEnv(recv)
+	walkWithEnv(fd.Body.List, env, func(s ast.Stmt) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			base, name, _, ok := selCall(e)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Close":
+				if path, ok := env.resolve(base); ok && path != "" {
+					closed[path] = true
+				}
+			case "closeOnce":
+				if id, ok := base.(*ast.Ident); ok && id.Name == recv {
+					guard = true
+				}
+			default:
+				// One level of same-type helpers: o.teardown() may hold
+				// the closes and the guard.
+				if depth > 0 {
+					if id, ok := base.(*ast.Ident); ok && id.Name == recv {
+						if helper := ms[name]; helper != nil {
+							hc, hg := closeEffects(helper, ms, depth-1)
+							for p := range hc {
+								closed[p] = true
+							}
+							guard = guard || hg
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return closed, guard
+}
+
+// checkNextRetention flags receiver-field assignments in Next whose
+// right-hand side captures the batch parameter.
+func checkNextRetention(p *Program, tn string, fd *ast.FuncDecl) []Finding {
+	if fd.Body == nil {
+		return nil
+	}
+	recv := recvName(fd)
+	param := ""
+	if names := fd.Type.Params.List[0].Names; len(names) > 0 {
+		param = names[0].Name
+	}
+	if param == "" || param == "_" {
+		return nil
+	}
+	var out []Finding
+	tainted := map[string]bool{param: true}
+	env := newPathEnv(recv)
+	walkWithEnv(fd.Body.List, env, func(s ast.Stmt) {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else {
+				rhs = as.Rhs[0]
+			}
+			if id, ok := lhs.(*ast.Ident); ok {
+				if captures(rhs, tainted) {
+					tainted[id.Name] = true
+				} else {
+					delete(tainted, id.Name)
+				}
+				continue
+			}
+			if path, ok := env.resolve(lhs); ok && path != "" && captures(rhs, tainted) {
+				out = append(out, Finding{
+					Pos:      p.Fset.Position(as.Pos()),
+					Analyzer: "opcontract",
+					Message:  tn + ".Next stores the caller's *Batch (or a view of it) into field " + path + "; batches are recycled by the caller",
+				})
+			}
+		}
+	})
+	return out
+}
+
+// captures reports whether evaluating e retains memory owned by a
+// tainted batch: the batch itself, a pointer to it, a row slice from
+// it. Scalar accessors (Len, Width) do not capture.
+func captures(e ast.Expr, tainted map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return tainted[x.Name]
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && tainted[id.Name] {
+				switch sel.Sel.Name {
+				case "Len", "Width":
+					return false
+				}
+				return true
+			}
+		}
+		for _, a := range x.Args {
+			if captures(a, tainted) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return captures(x.X, tainted)
+	case *ast.StarExpr:
+		// *b copies the value but the copy shares row storage.
+		return captures(x.X, tainted)
+	case *ast.ParenExpr:
+		return captures(x.X, tainted)
+	case *ast.SelectorExpr:
+		return captures(x.X, tainted)
+	case *ast.IndexExpr:
+		return captures(x.X, tainted) || captures(x.Index, tainted)
+	case *ast.SliceExpr:
+		return captures(x.X, tainted)
+	case *ast.BinaryExpr:
+		// Arithmetic/comparison over batch reads yields scalars.
+		return false
+	}
+	return false
+}

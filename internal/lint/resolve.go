@@ -1,0 +1,303 @@
+package lint
+
+// Shared syntactic resolution: receiver-relative access paths, method
+// tables, and declared field types. All name-based — see the package
+// comment for why no go/types.
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// recvName returns the receiver identifier of a method declaration
+// ("" for plain functions or anonymous receivers).
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// recvType returns the receiver's type name, stripped of pointers
+// ("" for plain functions).
+func recvType(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	return typeName(fd.Recv.List[0].Type)
+}
+
+// typeName extracts the bare name of a type expression: the "Batch"
+// of *Batch, engine.Batch, or []Batch. Returns "" for anything more
+// structural (func types, maps, channels).
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return typeName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.ArrayType:
+		return typeName(t.Elt)
+	case *ast.ParenExpr:
+		return typeName(t.X)
+	case *ast.IndexExpr: // generic instantiation
+		return typeName(t.X)
+	}
+	return ""
+}
+
+// methodTable indexes a package's methods by receiver type name.
+func methodTable(pkg *Package) map[string]map[string]*ast.FuncDecl {
+	out := map[string]map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			tn := recvType(fd)
+			if tn == "" {
+				continue
+			}
+			if out[tn] == nil {
+				out[tn] = map[string]*ast.FuncDecl{}
+			}
+			out[tn][fd.Name.Name] = fd
+		}
+	}
+	return out
+}
+
+// typeRef names a type as (import path, type name). Pkg is "" for
+// same-package or unresolvable references.
+type typeRef struct {
+	Pkg  string
+	Name string
+}
+
+// structInfo is the declared shape of one struct type.
+type structInfo struct {
+	fields map[string]typeRef // named fields
+	embeds []typeRef          // anonymous fields, declaration order
+}
+
+// structTable indexes a package's struct declarations, resolving field
+// types against the file's imports (so b.DB with DB *engine.DB becomes
+// {repro/internal/engine, DB}).
+func structTable(pkg *Package) map[string]*structInfo {
+	out := map[string]*structInfo{}
+	for _, f := range pkg.Files {
+		imports := importTable(f.AST)
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				info := &structInfo{fields: map[string]typeRef{}}
+				for _, fld := range st.Fields.List {
+					ref := resolveTypeRef(fld.Type, pkg.ImportPath, imports)
+					if len(fld.Names) == 0 {
+						if ref.Name != "" {
+							info.embeds = append(info.embeds, ref)
+						}
+						continue
+					}
+					for _, name := range fld.Names {
+						info.fields[name.Name] = ref
+					}
+				}
+				out[ts.Name.Name] = info
+			}
+		}
+	}
+	return out
+}
+
+// importTable maps local import names to import paths for one file.
+func importTable(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// resolveTypeRef names a field's type: same-package idents keep
+// selfPkg, selector types resolve through the imports.
+func resolveTypeRef(e ast.Expr, selfPkg string, imports map[string]string) typeRef {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return typeRef{Pkg: selfPkg, Name: t.Name}
+	case *ast.StarExpr:
+		return resolveTypeRef(t.X, selfPkg, imports)
+	case *ast.ParenExpr:
+		return resolveTypeRef(t.X, selfPkg, imports)
+	case *ast.ArrayType:
+		return resolveTypeRef(t.Elt, selfPkg, imports)
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			if path, ok := imports[id.Name]; ok {
+				return typeRef{Pkg: path, Name: t.Sel.Name}
+			}
+		}
+	}
+	return typeRef{}
+}
+
+// pathEnv resolves expressions to access paths relative to one root
+// identifier (a receiver or parameter). The root resolves to "";
+// o.builds to "builds"; a range value over o.builds to "builds[]"; and
+// bt.child with bt bound by that range to "builds[].child".
+type pathEnv struct {
+	root string
+	vars map[string]string
+}
+
+func newPathEnv(root string) *pathEnv {
+	return &pathEnv{root: root, vars: map[string]string{}}
+}
+
+// bind records a local alias for a path (assignment or range value).
+func (env *pathEnv) bind(name, path string) {
+	if name != "" && name != "_" {
+		env.vars[name] = path
+	}
+}
+
+// resolve maps an expression to its access path. The boolean is false
+// when the expression is not rooted at the environment's root or one
+// of its aliases.
+func (env *pathEnv) resolve(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == env.root {
+			return "", true
+		}
+		if p, ok := env.vars[x.Name]; ok {
+			return p, true
+		}
+	case *ast.SelectorExpr:
+		if p, ok := env.resolve(x.X); ok {
+			if p == "" {
+				return x.Sel.Name, true
+			}
+			return p + "." + x.Sel.Name, true
+		}
+	case *ast.ParenExpr:
+		return env.resolve(x.X)
+	case *ast.StarExpr:
+		return env.resolve(x.X)
+	case *ast.IndexExpr:
+		if p, ok := env.resolve(x.X); ok {
+			return p + "[]", true
+		}
+	}
+	return "", false
+}
+
+// walkWithEnv traverses statements in order, keeping env up to date
+// across alias assignments and range bindings, and calls visit on
+// every statement. Nested blocks share the same env (good enough for
+// the straight-line shapes these analyzers check). Function literals
+// are not entered: their bodies run on another goroutine or under
+// another frame's discipline.
+func walkWithEnv(stmts []ast.Stmt, env *pathEnv, visit func(ast.Stmt)) {
+	for _, s := range stmts {
+		visit(s)
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if p, ok := env.resolve(st.Rhs[i]); ok {
+						// m := *n copies the value — not an alias.
+						if _, isStar := st.Rhs[i].(*ast.StarExpr); !isStar {
+							env.bind(id.Name, p)
+							continue
+						}
+					}
+					delete(env.vars, id.Name)
+				}
+			}
+		case *ast.RangeStmt:
+			if p, ok := env.resolve(st.X); ok {
+				if id, ok := st.Value.(*ast.Ident); ok {
+					env.bind(id.Name, p+"[]")
+				}
+			}
+			walkWithEnv(st.Body.List, env, visit)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				walkWithEnv([]ast.Stmt{st.Init}, env, visit)
+			}
+			walkWithEnv(st.Body.List, env, visit)
+			if st.Else != nil {
+				walkWithEnv([]ast.Stmt{st.Else}, env, visit)
+			}
+		case *ast.ForStmt:
+			walkWithEnv(st.Body.List, env, visit)
+		case *ast.BlockStmt:
+			walkWithEnv(st.List, env, visit)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkWithEnv(cc.Body, env, visit)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkWithEnv(cc.Body, env, visit)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkWithEnv(cc.Body, env, visit)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkWithEnv([]ast.Stmt{st.Stmt}, env, visit)
+		}
+	}
+}
+
+// selCall matches a call of the form <expr>.<name>(...) and returns
+// the base expression and method name.
+func selCall(e ast.Expr) (ast.Expr, string, *ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, "", nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", nil, false
+	}
+	return sel.X, sel.Sel.Name, call, true
+}

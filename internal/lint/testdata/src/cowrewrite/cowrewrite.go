@@ -1,0 +1,60 @@
+// Fixture for the cowrewrite analyzer. The package is named "plan" so
+// the analyzer engages; trailing want-marker comments name the
+// required findings.
+// Parsed only, never compiled.
+package plan
+
+type Node struct {
+	Op     int
+	Inputs []*Node
+}
+
+// goodRewrite is the sanctioned copy-on-write idiom.
+func goodRewrite(n *Node) *Node {
+	m := *n
+	m.Op = 1
+	m.Inputs = append([]*Node(nil), n.Inputs...)
+	return &m
+}
+
+// goodRead only inspects the shared node.
+func goodRead(n *Node) int {
+	total := n.Op
+	for _, in := range n.Inputs {
+		total += in.Op
+	}
+	return total
+}
+
+// goodFresh mutates a node it constructed itself.
+func goodFresh(n *Node) *Node {
+	fresh := &Node{Op: n.Op}
+	fresh.Inputs = n.Inputs
+	return fresh
+}
+
+// badRewrite mutates the shared node directly.
+func badRewrite(n *Node) *Node {
+	n.Op = 1 // want cowrewrite
+	return n
+}
+
+// badAlias mutates it through a pointer alias.
+func badAlias(n *Node) *Node {
+	m := n
+	m.Op = 2 // want cowrewrite
+	return m
+}
+
+// badChild mutates shared children handed out by range and by index.
+func badChild(n *Node) {
+	for _, in := range n.Inputs {
+		in.Op = 3 // want cowrewrite
+	}
+	n.Inputs[0] = nil // want cowrewrite
+}
+
+// badStar overwrites the shared value wholesale.
+func badStar(n *Node) {
+	*n = Node{} // want cowrewrite
+}

@@ -1,0 +1,94 @@
+// Fixture for the lockorder analyzer: channel sends, nested lock
+// acquisitions, deny-listed calls, and transitively blocking calls
+// inside mutex regions. Trailing want-marker comments name the
+// required findings.
+package lockorder
+
+import "sync"
+
+type queue struct {
+	mu  sync.Mutex
+	sub sync.Mutex
+	ch  chan int
+	n   int
+}
+
+// goodPush releases the lock before the send.
+func (q *queue) goodPush(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// badSend holds the lock (deferred unlock) across the send.
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want lockorder
+}
+
+// badNested acquires a second lock inside the first's region.
+func (q *queue) badNested() {
+	q.mu.Lock()
+	q.sub.Lock() // want lockorder
+	q.sub.Unlock()
+	q.mu.Unlock()
+}
+
+// goodSequential pairs the locks one after the other.
+func (q *queue) goodSequential() {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.sub.Lock()
+	q.sub.Unlock()
+}
+
+// locked takes q.mu — transitively blocking for any caller under a
+// different lock.
+func (q *queue) locked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// badIndirect calls a lock-taking method while holding another lock.
+func (q *queue) badIndirect() {
+	q.sub.Lock()
+	defer q.sub.Unlock()
+	_ = q.locked() // want lockorder
+}
+
+// goodIndirect makes the same call lock-free.
+func (q *queue) goodIndirect() int {
+	return q.locked()
+}
+
+type runner struct{}
+
+func (r *runner) Run() {}
+
+// badDeny calls a deny-listed entry point under the lock; the callee
+// need not resolve — the name alone is the signal.
+func (q *queue) badDeny(r *runner) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	r.Run() // want lockorder
+}
+
+// goodDeny runs it after the region.
+func (q *queue) goodDeny(r *runner) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	r.Run()
+}
+
+// goodGoroutine: sends inside a spawned function literal run on
+// another goroutine, outside this frame's lock region.
+func (q *queue) goodGoroutine() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() { q.ch <- 1 }()
+}

@@ -1,0 +1,148 @@
+// Fixture for the opcontract analyzer. The types here mirror the
+// engine's operator shapes; a trailing want-marker comment names
+// each line the analyzer must flag, everything else must stay clean. The fixture is
+// parsed, never compiled.
+package opcontract
+
+type Batch struct{ n int }
+
+func (b *Batch) Len() int          { return b.n }
+func (b *Batch) Width() int        { return 0 }
+func (b *Batch) Row(i int) []int64 { return nil }
+
+type Operator interface {
+	Next(out *Batch) bool
+	Close()
+	Children() []Operator
+}
+
+type opBase struct{ open bool }
+
+func (o *opBase) closeOnce() bool {
+	was := o.open
+	o.open = false
+	return was
+}
+
+// goodOp follows the whole contract: guarded Close, every Children
+// shape closed (scalar field, ranged slice field, nested range path).
+type goodOp struct {
+	opBase
+	probe    Operator
+	children []Operator
+	builds   []struct{ child Operator }
+}
+
+func (o *goodOp) Open()                {}
+func (o *goodOp) Next(out *Batch) bool { return false }
+
+func (o *goodOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
+	o.probe.Close()
+	for _, c := range o.children {
+		c.Close()
+	}
+	for _, bt := range o.builds {
+		bt.child.Close()
+	}
+}
+
+func (o *goodOp) Children() []Operator {
+	out := []Operator{o.probe}
+	out = append(out, o.children...)
+	for _, bt := range o.builds {
+		out = append(out, bt.child)
+	}
+	return out
+}
+
+// helperOp delegates its teardown to a same-type helper — one level of
+// indirection the analyzer follows.
+type helperOp struct {
+	opBase
+	child Operator
+}
+
+func (o *helperOp) Open()                {}
+func (o *helperOp) Next(out *Batch) bool { return false }
+func (o *helperOp) Close()               { o.teardown() }
+func (o *helperOp) teardown() {
+	if !o.closeOnce() {
+		return
+	}
+	o.child.Close()
+}
+func (o *helperOp) Children() []Operator { return []Operator{o.child} }
+
+// emptyOp has no children and an empty Close — allowed.
+type emptyOp struct{ opBase }
+
+func (o *emptyOp) Open()                {}
+func (o *emptyOp) Next(out *Batch) bool { return false }
+func (o *emptyOp) Close()               {}
+func (o *emptyOp) Children() []Operator { return nil }
+
+// leakOp reports a child it never closes.
+type leakOp struct {
+	opBase
+	child Operator
+	stats int
+}
+
+func (o *leakOp) Open()                {}
+func (o *leakOp) Next(out *Batch) bool { return false }
+
+func (o *leakOp) Close() { // want opcontract
+	if !o.closeOnce() {
+		return
+	}
+	o.stats++
+}
+
+func (o *leakOp) Children() []Operator { return []Operator{o.child} }
+
+// rudeOp closes its child but has no idempotence guard.
+type rudeOp struct {
+	opBase
+	child Operator
+}
+
+func (o *rudeOp) Open()                {}
+func (o *rudeOp) Next(out *Batch) bool { return false }
+
+func (o *rudeOp) Close() { // want opcontract
+	o.child.Close()
+}
+
+func (o *rudeOp) Children() []Operator { return []Operator{o.child} }
+
+// hoardOp retains the caller's batch in various guises.
+type hoardOp struct {
+	opBase
+	last  *Batch
+	row   []int64
+	rows  [][]int64
+	count int
+}
+
+func (o *hoardOp) Open() {}
+
+func (o *hoardOp) Next(out *Batch) bool {
+	o.count = out.Len() // scalar read: fine
+	o.last = out        // want opcontract
+	o.row = out.Row(0)  // want opcontract
+	alias := out
+	o.last = alias                      // want opcontract
+	o.rows = append(o.rows, out.Row(1)) // want opcontract
+	return false
+}
+
+func (o *hoardOp) Close() {
+	if !o.closeOnce() {
+		return
+	}
+}
+
+func (o *hoardOp) Children() []Operator { return nil }

@@ -1,0 +1,15 @@
+// Fixture for the suppression mechanism: both placements of
+// //obdalint:ignore (line above and same line) silence a finding the
+// cowrewrite analyzer would otherwise report.
+package plan
+
+type Node struct {
+	Op     int
+	Inputs []*Node
+}
+
+func initNode(n *Node) {
+	//obdalint:ignore cowrewrite caller passes a node it just allocated
+	n.Op = 1
+	n.Inputs = nil //obdalint:ignore cowrewrite same: fresh node
+}

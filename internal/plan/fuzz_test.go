@@ -1,0 +1,354 @@
+package plan
+
+// FuzzRewriteValidate: any valid lowered plan still validates after
+// Rewrite, and extraction is stable — Extract(Rewrite(relower(lo)))
+// returns lo unchanged. The generator builds queries that are valid by
+// construction (head variables bound, factorized blocks sharing
+// argument lists, cover fragments exposing every shared variable), so
+// a failure is always a plan-package bug, never a bad input. The seed
+// corpus under testdata/fuzz covers all six From* lowerings.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// byteFeed deals deterministic small integers from the fuzz input,
+// returning 0 once the input is exhausted.
+type byteFeed struct {
+	d []byte
+	i int
+}
+
+func (f *byteFeed) next(n int) int {
+	if n <= 1 || f.i >= len(f.d) {
+		return 0
+	}
+	b := f.d[f.i]
+	f.i++
+	return int(b) % n
+}
+
+var (
+	fuzzVars     = []string{"x", "y", "z", "u", "v", "w"}
+	fuzzConcepts = []string{"A", "B", "C", "D"}
+	fuzzRoles    = []string{"R", "S", "T"}
+)
+
+// orderedVars lists the distinct variables of atoms in first-use order
+// (map iteration would make generation nondeterministic).
+func orderedVars(atoms []query.Atom) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+func genAtom(f *byteFeed, pool []string) query.Atom {
+	if f.next(2) == 0 {
+		return query.Atom{Pred: fuzzConcepts[f.next(len(fuzzConcepts))],
+			Args: []query.Term{query.Var(pool[f.next(len(pool))])}}
+	}
+	return query.Atom{Pred: fuzzRoles[f.next(len(fuzzRoles))],
+		Args: []query.Term{query.Var(pool[f.next(len(pool))]), query.Var(pool[f.next(len(pool))])}}
+}
+
+// pickVars selects up to two distinct variables of used, in order. The
+// result is non-nil even when empty: genUCQ/genUSCQ distinguish "no
+// head chosen yet" (nil) from "boolean head" (empty) with it.
+func pickVars(f *byteFeed, used []string) []query.Term {
+	out := []query.Term{}
+	taken := map[string]bool{}
+	for i, n := 0, f.next(3); i < n && len(used) > 0; i++ {
+		v := used[f.next(len(used))]
+		if !taken[v] {
+			taken[v] = true
+			out = append(out, query.Var(v))
+		}
+	}
+	return out
+}
+
+// bindHead fixes q's head, appending a concept atom for every head
+// variable the body does not bind — generated queries stay safe.
+func bindHead(f *byteFeed, q query.CQ, head []query.Term) query.CQ {
+	q.Head = head
+	bound := map[string]bool{}
+	for _, v := range orderedVars(q.Atoms) {
+		bound[v] = true
+	}
+	for _, t := range head {
+		if t.IsVar() && !bound[t.Name] {
+			bound[t.Name] = true
+			q.Atoms = append(q.Atoms, query.Atom{Pred: fuzzConcepts[f.next(len(fuzzConcepts))],
+				Args: []query.Term{t}})
+		}
+	}
+	return q
+}
+
+// genCQ generates a safe CQ over pool. With head == nil it picks up to
+// two body variables as the head; otherwise it adopts head, binding
+// any missing head variable with an extra atom.
+func genCQ(f *byteFeed, name string, head []query.Term, pool []string) query.CQ {
+	q := query.CQ{Name: name}
+	for i, n := 0, 1+f.next(3); i < n; i++ {
+		q.Atoms = append(q.Atoms, genAtom(f, pool))
+	}
+	if head == nil {
+		q.Head = pickVars(f, orderedVars(q.Atoms))
+		return q
+	}
+	return bindHead(f, q, head)
+}
+
+// scqAtoms flattens an SCQ's blocks.
+func scqAtoms(s query.SCQ) []query.Atom {
+	var all []query.Atom
+	for _, b := range s.Blocks {
+		all = append(all, b...)
+	}
+	return all
+}
+
+// bindHeadSCQ fixes s's head, appending a singleton block for every
+// head variable no block binds.
+func bindHeadSCQ(f *byteFeed, s query.SCQ, head []query.Term) query.SCQ {
+	s.Head = head
+	bound := map[string]bool{}
+	for _, v := range orderedVars(scqAtoms(s)) {
+		bound[v] = true
+	}
+	for _, t := range head {
+		if t.IsVar() && !bound[t.Name] {
+			bound[t.Name] = true
+			s.Blocks = append(s.Blocks, []query.Atom{{Pred: fuzzConcepts[f.next(len(fuzzConcepts))],
+				Args: []query.Term{t}}})
+		}
+	}
+	return s
+}
+
+// genSCQ generates a factorized SCQ: each block's alternatives share
+// one argument list and differ only in predicate.
+func genSCQ(f *byteFeed, name string, head []query.Term, pool []string) query.SCQ {
+	s := query.SCQ{Name: name}
+	for b, n := 0, 1+f.next(3); b < n; b++ {
+		var args []query.Term
+		if f.next(2) == 0 {
+			args = []query.Term{query.Var(pool[f.next(len(pool))])}
+		} else {
+			args = []query.Term{query.Var(pool[f.next(len(pool))]), query.Var(pool[f.next(len(pool))])}
+		}
+		preds := fuzzConcepts
+		if len(args) == 2 {
+			preds = fuzzRoles
+		}
+		start, alts := f.next(len(preds)), 1+f.next(2)
+		var block []query.Atom
+		for a := 0; a < alts; a++ {
+			block = append(block, query.Atom{Pred: preds[(start+a)%len(preds)], Args: args})
+		}
+		s.Blocks = append(s.Blocks, block)
+	}
+	if head == nil {
+		s.Head = pickVars(f, orderedVars(scqAtoms(s)))
+		return s
+	}
+	return bindHeadSCQ(f, s, head)
+}
+
+// genUCQ generates disjuncts sharing the first disjunct's head.
+func genUCQ(f *byteFeed, name string, pool []string) query.UCQ {
+	u := query.UCQ{Name: name}
+	d0 := genCQ(f, name, nil, pool)
+	u.Disjuncts = append(u.Disjuncts, d0)
+	for i, n := 0, f.next(3); i < n; i++ {
+		u.Disjuncts = append(u.Disjuncts, genCQ(f, name, d0.Head, pool))
+	}
+	return u
+}
+
+func genUSCQ(f *byteFeed, name string, pool []string) query.USCQ {
+	u := query.USCQ{Name: name}
+	d0 := genSCQ(f, name, nil, pool)
+	u.Disjuncts = append(u.Disjuncts, d0)
+	for i, n := 0, f.next(3); i < n; i++ {
+		u.Disjuncts = append(u.Disjuncts, genSCQ(f, name, d0.Head, pool))
+	}
+	return u
+}
+
+// fragPools builds two fragment variable pools overlapping only in the
+// shared prefix. The cover-join invariant (a variable two fragments
+// mention appears in both heads) then holds by construction: only
+// shared variables can co-occur, and fragHead forces every used shared
+// variable into the fragment's head.
+func fragPools(f *byteFeed) (shared []string, pools [][]string) {
+	shared = fuzzVars[:1+f.next(2)]
+	pools = [][]string{
+		append(append([]string(nil), shared...), "z", "u"),
+		append(append([]string(nil), shared...), "v", "w"),
+	}
+	return shared, pools
+}
+
+// fragHead computes one fragment's head: every shared variable its
+// disjuncts mention, plus optionally one private variable.
+func fragHead(f *byteFeed, shared []string, bodies []query.Atom) []query.Term {
+	isShared := map[string]bool{}
+	for _, v := range shared {
+		isShared[v] = true
+	}
+	var head []query.Term
+	var private []string
+	for _, v := range orderedVars(bodies) {
+		if isShared[v] {
+			head = append(head, query.Var(v))
+		} else {
+			private = append(private, v)
+		}
+	}
+	if len(private) > 0 && f.next(2) == 1 {
+		head = append(head, query.Var(private[f.next(len(private))]))
+	}
+	return head
+}
+
+// coverHead picks the query head from the fragments' exposed variables.
+func coverHead(f *byteFeed, fragHeads [][]query.Term) []query.Term {
+	var used []string
+	seen := map[string]bool{}
+	for _, h := range fragHeads {
+		for _, t := range h {
+			if t.IsVar() && !seen[t.Name] {
+				seen[t.Name] = true
+				used = append(used, t.Name)
+			}
+		}
+	}
+	return pickVars(f, used)
+}
+
+func genJUCQ(f *byteFeed) query.JUCQ {
+	shared, pools := fragPools(f)
+	j := query.JUCQ{Name: "q"}
+	var heads [][]query.Term
+	for i, name := range []string{"f0", "f1"} {
+		draft := genUCQ(f, name, pools[i])
+		var bodies []query.Atom
+		for _, d := range draft.Disjuncts {
+			bodies = append(bodies, d.Atoms...)
+		}
+		head := fragHead(f, shared, bodies)
+		sub := query.UCQ{Name: name}
+		for _, d := range draft.Disjuncts {
+			sub.Disjuncts = append(sub.Disjuncts, bindHead(f, d, head))
+		}
+		j.Subs = append(j.Subs, sub)
+		heads = append(heads, head)
+	}
+	j.Head = coverHead(f, heads)
+	return j
+}
+
+func genJUSCQ(f *byteFeed) query.JUSCQ {
+	shared, pools := fragPools(f)
+	j := query.JUSCQ{Name: "q"}
+	var heads [][]query.Term
+	for i, name := range []string{"f0", "f1"} {
+		draft := genUSCQ(f, name, pools[i])
+		var bodies []query.Atom
+		for _, d := range draft.Disjuncts {
+			bodies = append(bodies, scqAtoms(d)...)
+		}
+		head := fragHead(f, shared, bodies)
+		sub := query.USCQ{Name: name}
+		for _, d := range draft.Disjuncts {
+			sub.Disjuncts = append(sub.Disjuncts, bindHeadSCQ(f, d, head))
+		}
+		j.Subs = append(j.Subs, sub)
+		heads = append(heads, head)
+	}
+	j.Head = coverHead(f, heads)
+	return j
+}
+
+// relower lowers an extracted dialect query back into the IR.
+func relower(lo Lowered) *Node {
+	switch lo.Kind {
+	case KindUCQ:
+		return FromUCQ(lo.UCQ)
+	case KindUSCQ:
+		return FromUSCQ(lo.USCQ)
+	case KindJUCQ:
+		return FromJUCQ(lo.JUCQ)
+	default:
+		return FromJUSCQ(lo.JUSCQ)
+	}
+}
+
+func FuzzRewriteValidate(f *testing.F) {
+	// One seed per From* lowering (first byte mod 6 selects the kind);
+	// the same seeds are checked in under testdata/fuzz.
+	f.Add([]byte("0fEd9hK2mQ"))
+	f.Add([]byte("1aXc4Tq8Lw"))
+	f.Add([]byte("2bYd5Ur9Mz"))
+	f.Add([]byte("3cZe6Vs0Na"))
+	f.Add([]byte("4dAf7Wt1Ob"))
+	f.Add([]byte("5eBg8Xu2Pc"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fd := &byteFeed{d: data}
+		var n *Node
+		switch fd.next(6) {
+		case 0:
+			cq := genCQ(fd, "q", nil, fuzzVars[:3])
+			mustValidate(t, FromCQ(cq))
+			n = FromUCQ(query.UCQ{Name: "q", Disjuncts: []query.CQ{cq}})
+		case 1:
+			n = FromUCQ(genUCQ(fd, "q", fuzzVars[:3]))
+		case 2:
+			scq := genSCQ(fd, "q", nil, fuzzVars[:3])
+			mustValidate(t, FromSCQ(scq))
+			n = FromUSCQ(query.USCQ{Name: "q", Disjuncts: []query.SCQ{scq}})
+		case 3:
+			n = FromUSCQ(genUSCQ(fd, "q", fuzzVars[:3]))
+		case 4:
+			n = FromJUCQ(genJUCQ(fd))
+		default:
+			n = FromJUSCQ(genJUSCQ(fd))
+		}
+		mustValidate(t, n)
+		r := Rewrite(n)
+		mustValidate(t, r)
+		lo1, err := Extract(r)
+		if err != nil {
+			t.Fatalf("Extract(Rewrite): %v\n%s", err, r)
+		}
+		r2 := Rewrite(relower(lo1))
+		mustValidate(t, r2)
+		lo2, err := Extract(r2)
+		if err != nil {
+			t.Fatalf("Extract after relower: %v\n%s", err, r2)
+		}
+		if !reflect.DeepEqual(lo1, lo2) {
+			t.Fatalf("extract round-trip diverged:\n%#v\n%#v", lo1, lo2)
+		}
+	})
+}
+
+func mustValidate(t *testing.T, n *Node) {
+	t.Helper()
+	if err := Validate(n); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, n)
+	}
+}

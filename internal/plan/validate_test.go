@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// access builds a single-atom access leaf for hand-assembled trees.
+func access(pos int, pred string, args ...query.Term) *Node {
+	return &Node{Op: OpAccess, Atoms: []query.Atom{{Pred: pred, Args: args}}, Pos: pos}
+}
+
+func TestValidateAcceptsLowerings(t *testing.T) {
+	x, y := query.Var("x"), query.Var("y")
+	cq := mustCQ(t, "q(x) <- Prof(x), advisor(x, y)")
+	ucq := query.UCQ{Name: "q", Disjuncts: []query.CQ{cq, mustCQ(t, "q(x) <- Student(x)")}}
+	scq := query.SCQ{Name: "q", Head: []query.Term{x},
+		Blocks: [][]query.Atom{{{Pred: "A", Args: []query.Term{x}}, {Pred: "B", Args: []query.Term{x}}}}}
+	jucq := query.JUCQ{Name: "q", Head: []query.Term{x}, Subs: []query.UCQ{
+		{Name: "f0", Disjuncts: []query.CQ{mustCQ(t, "f0(x, y) <- advisor(x, y)")}},
+		{Name: "f1", Disjuncts: []query.CQ{mustCQ(t, "f1(y) <- Prof(y)")}},
+	}}
+	juscq := query.JUSCQ{Name: "q", Head: []query.Term{x}, Subs: []query.USCQ{
+		{Name: "f0", Disjuncts: []query.SCQ{{Name: "f0", Head: []query.Term{x, y},
+			Blocks: [][]query.Atom{{{Pred: "advisor", Args: []query.Term{x, y}}}}}}},
+		{Name: "f1", Disjuncts: []query.SCQ{{Name: "f1", Head: []query.Term{y},
+			Blocks: [][]query.Atom{{{Pred: "Prof", Args: []query.Term{y}}}}}}},
+	}}
+	for name, n := range map[string]*Node{
+		"cq":    FromCQ(cq),
+		"ucq":   FromUCQ(ucq),
+		"scq":   FromSCQ(scq),
+		"uscq":  FromUSCQ(query.USCQ{Name: "q", Disjuncts: []query.SCQ{scq}}),
+		"jucq":  FromJUCQ(jucq),
+		"juscq": FromJUSCQ(juscq),
+	} {
+		if err := Validate(n); err != nil {
+			t.Errorf("%s: Validate(%s) = %v, want nil", name, n, err)
+		}
+		if err := Validate(Rewrite(n)); err != nil {
+			t.Errorf("%s: Validate(Rewrite) = %v, want nil", name, err)
+		}
+	}
+}
+
+// TestValidateErrors pins the exact error message of each well-formed-
+// ness rule — the messages are part of the diagnostic surface.
+func TestValidateErrors(t *testing.T) {
+	x, y := query.Var("x"), query.Var("y")
+	cases := []struct {
+		name string
+		n    *Node
+		want string
+	}{
+		{"nil", nil, "plan: validate: nil node"},
+		{
+			"unbound head variable",
+			&Node{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{access(0, "A", y)}},
+			`plan: validate: head variable "x" not bound by any access`,
+		},
+		{
+			// Fragment 0 exposes y; fragment 1 mentions y body-only.
+			"join key missing from one side",
+			&Node{Op: OpDistinct, Inputs: []*Node{
+				{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{
+					{Op: OpJoin, Inputs: []*Node{
+						{Op: OpDistinct, Inputs: []*Node{
+							{Op: OpProject, Head: []query.Term{x, y}, Inputs: []*Node{access(0, "R", x, y)}},
+						}},
+						{Op: OpDistinct, Inputs: []*Node{
+							{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{access(1, "S", x, y)}},
+						}},
+					}},
+				}},
+			}},
+			`plan: validate: join key "y" missing from fragment 1's head`,
+		},
+		{
+			"mismatched union arm schemas",
+			&Node{Op: OpDistinct, Inputs: []*Node{
+				{Op: OpUnion, Inputs: []*Node{
+					{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{access(0, "A", x)}},
+					{Op: OpProject, Head: []query.Term{x, y}, Inputs: []*Node{access(0, "R", x, y)}},
+				}},
+			}},
+			"plan: validate: union arm 1 has arity 2, arm 0 has arity 1",
+		},
+		{
+			"zero-arm union",
+			&Node{Op: OpDistinct, Inputs: []*Node{{Op: OpUnion}}},
+			"plan: validate: union has no arms",
+		},
+		{
+			"distinct above distinct",
+			&Node{Op: OpDistinct, Inputs: []*Node{
+				{Op: OpDistinct, Inputs: []*Node{
+					{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{access(0, "A", x)}},
+				}},
+			}},
+			"plan: validate: distinct directly above distinct",
+		},
+		{
+			"single-input join",
+			&Node{Op: OpJoin, Inputs: []*Node{access(0, "A", x)}},
+			"plan: validate: join has 1 inputs, need at least 2",
+		},
+		{
+			"empty access",
+			&Node{Op: OpAccess},
+			"plan: validate: access has no atoms",
+		},
+		{
+			"mixed block arguments",
+			&Node{Op: OpAccess, Atoms: []query.Atom{
+				{Pred: "A", Args: []query.Term{x}},
+				{Pred: "B", Args: []query.Term{y}},
+			}},
+			"plan: validate: access block alternatives bind different arguments: A(x) vs B(y)",
+		},
+		{
+			"disconnected semijoin reducer",
+			&Node{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{
+				{Op: OpSemiJoin, Inputs: []*Node{access(0, "A", x), access(1, "B", y)}},
+			}},
+			"plan: validate: semijoin reducer 0 shares no variable with the core",
+		},
+		{
+			"union arm not a projection",
+			&Node{Op: OpDistinct, Inputs: []*Node{
+				{Op: OpUnion, Inputs: []*Node{access(0, "A", x)}},
+			}},
+			"plan: validate: union arm 0 is access, want project",
+		},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.n)
+		if err == nil {
+			t.Errorf("%s: Validate = nil, want %q", tc.name, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s: Validate = %q, want %q", tc.name, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestValidateCatchesCorruptedRewrite plays the buggy-rewrite-rule
+// scenario end to end at the IR level: a "rewrite" that clones the
+// tree but drops a variable from a fragment's projected head produces
+// a plan Validate rejects — the failure mode is a loud plan-time
+// error, not a silent fragment cross product.
+func TestValidateCatchesCorruptedRewrite(t *testing.T) {
+	jucq := query.JUCQ{Name: "q", Head: []query.Term{query.Var("x")}, Subs: []query.UCQ{
+		{Name: "f0", Disjuncts: []query.CQ{mustCQ(t, "f0(x, y) <- advisor(x, y)")}},
+		{Name: "f1", Disjuncts: []query.CQ{mustCQ(t, "f1(y) <- Prof(y)")}},
+	}}
+	good := Rewrite(FromJUCQ(jucq))
+	if err := Validate(good); err != nil {
+		t.Fatalf("Validate(good) = %v", err)
+	}
+	bad := dropFragmentHeadVar(good, "y")
+	if bad == good {
+		t.Fatal("corrupting rewrite did not change the tree")
+	}
+	err := Validate(bad)
+	if err == nil {
+		t.Fatalf("Validate accepted the corrupted tree %s", bad)
+	}
+	want := `plan: validate: join key "y" missing from fragment 0's head`
+	if err.Error() != want {
+		t.Fatalf("Validate = %q, want %q", err.Error(), want)
+	}
+}
+
+// dropFragmentHeadVar is the deliberately broken rewrite: copy-on-write
+// like the real pass, but it truncates the first projected head that
+// names v — the kind of bug Validate exists to catch.
+func dropFragmentHeadVar(n *Node, v string) *Node {
+	for i, t := range n.Head {
+		if n.Op == OpProject && t.IsVar() && t.Name == v {
+			m := *n
+			m.Head = append(append([]query.Term(nil), n.Head[:i]...), n.Head[i+1:]...)
+			return &m
+		}
+	}
+	for i, in := range n.Inputs {
+		if r := dropFragmentHeadVar(in, v); r != in {
+			m := *n
+			m.Inputs = append([]*Node(nil), n.Inputs...)
+			m.Inputs[i] = r
+			return &m
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package server
+
+// Regression test for backendFor's locking discipline: bmu must guard
+// only the map lookup, never backend construction. The old code held
+// bmu across core.NewBackendByName — building the shard backend
+// partitions the whole database and locks its statistics, the
+// lock-across-blocking-call shape internal/lint's lockorder analyzer
+// flags. This test hammers backendFor from many goroutines (run under
+// -race in CI) and checks each name resolves to exactly one cached
+// instance.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+func TestBackendForConcurrent(t *testing.T) {
+	tb := dllite.MustParseTBox(`
+PhDStudent <= Researcher
+role: supervisedBy <= worksWith
+`)
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox(`
+worksWith(Ioana, Francois)
+supervisedBy(Damian, Ioana)
+`))
+	s := New(core.New(tb, db, engine.ProfilePostgres()))
+
+	names := make([]string, 0, 4)
+	for _, spec := range core.BackendSpecs() {
+		names = append(names, spec.Name)
+	}
+	names = append(names, "no-such-backend")
+
+	const perName = 16
+	got := make([][]plan.Backend, len(names))
+	for i := range got {
+		got[i] = make([]plan.Backend, perName)
+	}
+	var wg sync.WaitGroup
+	for i, name := range names {
+		for j := 0; j < perName; j++ {
+			wg.Add(1)
+			go func(i, j int, name string) {
+				defer wg.Done()
+				b, err := s.backendFor(name)
+				if name == "no-such-backend" {
+					if err == nil {
+						t.Errorf("backendFor(%q) succeeded, want error", name)
+					}
+					return
+				}
+				if err != nil {
+					t.Errorf("backendFor(%q): %v", name, err)
+					return
+				}
+				got[i][j] = b
+			}(i, j, name)
+		}
+	}
+	wg.Wait()
+
+	for i, name := range names {
+		if name == "no-such-backend" {
+			continue
+		}
+		for j := 1; j < perName; j++ {
+			if got[i][j] != got[i][0] {
+				t.Errorf("backendFor(%q) returned distinct instances across goroutines", name)
+				break
+			}
+		}
+	}
+}

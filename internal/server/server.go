@@ -43,7 +43,19 @@ type Server struct {
 	defaultBackend string
 	shards         int
 	bmu            sync.Mutex
-	backends       map[string]plan.Backend
+	backends       map[string]*backendEntry
+}
+
+// backendEntry caches one lazily constructed backend. Construction
+// runs under the entry's Once, not under bmu: building the shard
+// backend partitions the whole database (locking its statistics), and
+// holding bmu across that would stall every concurrent request on an
+// unrelated backend — the lock-across-blocking-call shape the
+// lockorder analyzer flags.
+type backendEntry struct {
+	once sync.Once
+	b    plan.Backend
+	err  error
 }
 
 // Options configure the server's execution backends.
@@ -73,7 +85,7 @@ func NewWithOptions(a *core.Answerer, opts Options) *Server {
 		sem:            make(chan struct{}, runtime.GOMAXPROCS(0)),
 		defaultBackend: def,
 		shards:         opts.Shards,
-		backends:       make(map[string]plan.Backend),
+		backends:       make(map[string]*backendEntry),
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
@@ -86,19 +98,21 @@ func NewWithOptions(a *core.Answerer, opts Options) *Server {
 }
 
 // backendFor returns the named execution backend, constructing and
-// caching it on first use.
+// caching it on first use. bmu guards only the map lookup; the
+// construction itself runs once per name under the entry's Once, so
+// concurrent requests for other backends never wait on it.
 func (s *Server) backendFor(name string) (plan.Backend, error) {
 	s.bmu.Lock()
-	defer s.bmu.Unlock()
-	if b, ok := s.backends[name]; ok {
-		return b, nil
+	e, ok := s.backends[name]
+	if !ok {
+		e = &backendEntry{}
+		s.backends[name] = e
 	}
-	b, err := core.NewBackendByName(name, s.A.DB, s.A.Profile, s.shards)
-	if err != nil {
-		return nil, err
-	}
-	s.backends[name] = b
-	return b, nil
+	s.bmu.Unlock()
+	e.once.Do(func() {
+		e.b, e.err = core.NewBackendByName(name, s.A.DB, s.A.Profile, s.shards)
+	})
+	return e.b, e.err
 }
 
 // ServeHTTP implements http.Handler.

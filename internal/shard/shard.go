@@ -73,9 +73,14 @@ func (b *Backend) viewsFor(an analysis) []*engine.DB {
 	return vs
 }
 
-// analyzeViews extracts the plan, picks the alignment, and returns the
-// shard views to compile against.
+// analyzeViews validates and extracts the plan, picks the alignment,
+// and returns the shard views to compile against. Validation runs once
+// here for both Compile and Estimate; the per-shard engine compiles
+// re-check, but a malformed plan never reaches partitioned views.
 func (b *Backend) analyzeViews(n *plan.Node) (analysis, []*engine.DB, error) {
+	if err := plan.Validate(n); err != nil {
+		return analysis{}, nil, err
+	}
 	lo, err := plan.Extract(n)
 	if err != nil {
 		return analysis{}, nil, err

@@ -49,8 +49,11 @@ func (b *Backend) Observe(n *plan.Node, ex *plan.Explain) {
 	if n == nil || ex == nil || ex.Root == nil || ex.Root.ActualRows < 0 {
 		return
 	}
+	// Version() takes the DB's stats lock; read it before taking b.mu
+	// so the two locks are never held together (lockorder analyzer).
+	ver := b.DB.Version()
 	b.mu.Lock()
-	b.observed[obsKey{n.String(), b.DB.Version()}] = float64(ex.Root.ActualRows)
+	b.observed[obsKey{n.String(), ver}] = float64(ex.Root.ActualRows)
 	b.mu.Unlock()
 }
 
@@ -63,6 +66,9 @@ func (b *Backend) Name() string { return "sql" }
 func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) {
 	if b.DB.Layout != engine.LayoutSimple {
 		return nil, fmt.Errorf("sqlexec: backend requires the simple layout, have %s", b.DB.Layout)
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, err
 	}
 	lo, err := plan.Extract(n)
 	if err != nil {
@@ -92,8 +98,9 @@ func (b *Backend) Compile(n *plan.Node) (plan.Executable, error) {
 // path's feedback loop, independent of the native Profile.Feedback.
 func (b *Backend) Estimate(n *plan.Node) plan.Estimate {
 	est := engine.NewBackend(b.DB, b.Profile).Estimate(n)
+	ver := b.DB.Version()
 	b.mu.Lock()
-	card, ok := b.observed[obsKey{n.String(), b.DB.Version()}]
+	card, ok := b.observed[obsKey{n.String(), ver}]
 	b.mu.Unlock()
 	if ok {
 		est.Card = card

@@ -1,0 +1,63 @@
+package sqlexec
+
+// Regression test for the backend's lock ordering: Observe and
+// Estimate must read DB.Version() (which takes the DB's stats lock)
+// before taking b.mu, never while holding it — the nested-acquisition
+// shape internal/lint's lockorder analyzer flags. Run under -race,
+// concurrent Observe/Estimate against concurrent stats access must
+// neither race nor deadlock.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dllite"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func TestObserveEstimateConcurrent(t *testing.T) {
+	db := engine.NewDB(engine.LayoutSimple)
+	db.LoadABox(dllite.MustParseABox(`
+A(c1)
+R(c1, c2)
+`))
+	b := NewBackend(db, engine.ProfilePostgres())
+
+	cq := query.CQ{
+		Name: "q",
+		Head: []query.Term{query.Var("x")},
+		Atoms: []query.Atom{
+			{Pred: "A", Args: []query.Term{query.Var("x")}},
+		},
+	}
+	n := plan.FromCQ(cq)
+	ex := &plan.Explain{Root: &plan.ExplainNode{ActualRows: 7}}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				b.Observe(n, ex)
+				b.Estimate(n)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				db.Version()
+				db.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+
+	est := b.Estimate(n)
+	if est.Card != 7 {
+		t.Fatalf("Estimate.Card = %v, want observed 7", est.Card)
+	}
+}
