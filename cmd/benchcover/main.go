@@ -7,10 +7,17 @@
 // serial native baseline, with the speedup and the GOMAXPROCS the run
 // saw (sharded speedup needs cores to spread over).
 //
+// The shard series includes a hand-built shuffle cover (QShuffle:
+// memberOf(x, d) joined with Department(d) on d, which no shard
+// partitioning aligns first-position) so the exchange path is measured
+// alongside the aligned plans, plus one warm-cache point showing the
+// shard answer cache replaying the same plan.
+//
 // Usage:
 //
 //	benchcover                      # BENCH_cover.json + BENCH_shard.json
 //	benchcover -o out.json -shard-o shard.json -scale 8
+//	benchcover -short -shard        # CI smoke: scale-1 DB, shard series only
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/lubm"
 	"repro/internal/plan"
+	"repro/internal/query"
 	"repro/internal/reformulate"
 	"repro/internal/shard"
 )
@@ -65,6 +73,10 @@ type ShardEntry struct {
 	BytesPerOp int64   `json:"bytes_per_op"`
 	Speedup    float64 `json:"speedup_vs_native"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	// Cached marks the warm-cache point: the shard answer cache replays
+	// the per-shard results instead of re-executing. All other shard
+	// points purge the cache every iteration.
+	Cached bool `json:"cached,omitempty"`
 	// Warning is set when the run cannot show what the series is for
 	// (e.g. a single-core run cannot show parallel speedup).
 	Warning string `json:"warning,omitempty"`
@@ -79,27 +91,90 @@ func shardWarning() string {
 	return ""
 }
 
-// shardSeries measures the native serial baseline and the shard
-// backend at 1/2/4/8 shards over the workload plans.
-func shardSeries(env *exp.Env) ([]ShardEntry, error) {
-	ref := reformulate.New(env.TBox)
-	var series []ShardEntry
-	for _, qi := range []int{2, 8} { // Q3, Q9
-		q := lubm.Queries()[qi]
-		c := cover.RootCover(q, env.TBox)
-		j, err := c.ReformulateJUCQ(ref)
-		if err != nil {
-			return nil, err
+// shuffleJUCQ builds the two-fragment cover whose join key no shard
+// partitioning aligns first-position: memberOf(x, d) binds d in object
+// position, Department(d) in subject position, so a hash-partitioned
+// run must repartition the memberOf rows through the exchange to join
+// shard-locally on d.
+func shuffleJUCQ() (query.JUCQ, error) {
+	f0, err := query.ParseCQ("q(x, d) <- memberOf(x, d)")
+	if err != nil {
+		return query.JUCQ{}, err
+	}
+	f1, err := query.ParseCQ("q(d) <- Department(d)")
+	if err != nil {
+		return query.JUCQ{}, err
+	}
+	return query.JUCQ{
+		Name: "QShuffle",
+		Head: f0.Head,
+		Subs: []query.UCQ{
+			{Name: "f0", Disjuncts: []query.CQ{f0}},
+			{Name: "f1", Disjuncts: []query.CQ{f1}},
+		},
+	}, nil
+}
+
+// shardCase is one plan of the shard series.
+type shardCase struct {
+	name string
+	ir   *plan.Node
+}
+
+// shardCases assembles the shard-series workload: the Q3/Q9 cover
+// plans (aligned, skipped in short mode) plus the QShuffle exchange
+// plan.
+func shardCases(env *exp.Env, short bool) ([]shardCase, error) {
+	var cases []shardCase
+	if !short {
+		ref := reformulate.New(env.TBox)
+		for _, qi := range []int{2, 8} { // Q3, Q9
+			q := lubm.Queries()[qi]
+			c := cover.RootCover(q, env.TBox)
+			j, err := c.ReformulateJUCQ(ref)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, shardCase{q.Name, plan.Rewrite(plan.FromJUCQ(j))})
 		}
-		ir := plan.Rewrite(plan.FromJUCQ(j))
-		measure := func(b plan.Backend, workers int) (float64, int64, error) {
+	}
+	j, err := shuffleJUCQ()
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, shardCase{j.Name, plan.Rewrite(plan.FromJUCQ(j))})
+	return cases, nil
+}
+
+// shardSeries measures the native serial baseline and the shard
+// backend over the workload plans (fan-outs 1/2/4/8, or 1/2 in short
+// mode). Shard iterations purge the backend's answer cache so the
+// numbers measure execution, not replay; one extra warm-cache point at
+// the largest fan-out shows what the cache saves.
+func shardSeries(env *exp.Env, short bool) ([]ShardEntry, error) {
+	cases, err := shardCases(env, short)
+	if err != nil {
+		return nil, err
+	}
+	fanouts := []int{1, 2, 4, 8}
+	if short {
+		fanouts = []int{1, 2}
+	}
+	var series []ShardEntry
+	for _, c := range cases {
+		ir := c.ir
+		measure := func(b plan.Backend, workers int, purgeEach bool) (float64, int64, error) {
 			exec, err := b.Compile(ir)
 			if err != nil {
 				return 0, 0, err
 			}
+			purger, _ := b.(interface{ PurgeCache() })
 			r := testing.Benchmark(func(tb *testing.B) {
 				tb.ReportAllocs()
 				for i := 0; i < tb.N; i++ {
+					if purgeEach && purger != nil {
+						purger.PurgeCache()
+					}
 					if _, err := exec.Run(workers); err != nil {
 						tb.Fatal(err)
 					}
@@ -107,30 +182,42 @@ func shardSeries(env *exp.Env) ([]ShardEntry, error) {
 			})
 			return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocedBytesPerOp(), nil
 		}
-		baseNs, baseBytes, err := measure(engine.NewBackend(env.DB, env.Profile), 1)
+		baseNs, baseBytes, err := measure(engine.NewBackend(env.DB, env.Profile), 1, false)
 		if err != nil {
 			return nil, err
 		}
 		series = append(series, ShardEntry{
-			Query: q.Name, Shards: 0, NsPerOp: baseNs, BytesPerOp: baseBytes,
+			Query: c.name, Shards: 0, NsPerOp: baseNs, BytesPerOp: baseBytes,
 			Speedup: 1, GoMaxProcs: runtime.GOMAXPROCS(0), Warning: shardWarning(),
 		})
-		fmt.Printf("%-24s %14.0f ns/op %10d B/op  (native baseline)\n", q.Name+"/native", baseNs, baseBytes)
-		for _, n := range []int{1, 2, 4, 8} {
+		fmt.Printf("%-24s %14.0f ns/op %10d B/op  (native baseline)\n", c.name+"/native", baseNs, baseBytes)
+		for _, n := range fanouts {
 			sb, err := shard.New(env.DB, env.Profile, n)
 			if err != nil {
 				return nil, err
 			}
-			ns, bytes, err := measure(sb, n)
+			ns, bytes, err := measure(sb, n, true)
 			if err != nil {
 				return nil, err
 			}
 			series = append(series, ShardEntry{
-				Query: q.Name, Shards: n, NsPerOp: ns, BytesPerOp: bytes,
+				Query: c.name, Shards: n, NsPerOp: ns, BytesPerOp: bytes,
 				Speedup: baseNs / ns, GoMaxProcs: runtime.GOMAXPROCS(0), Warning: shardWarning(),
 			})
 			fmt.Printf("%-24s %14.0f ns/op %10d B/op  %5.2fx vs native\n",
-				fmt.Sprintf("%s/shard-n%d", q.Name, n), ns, bytes, baseNs/ns)
+				fmt.Sprintf("%s/shard-n%d", c.name, n), ns, bytes, baseNs/ns)
+			if n == fanouts[len(fanouts)-1] {
+				cns, cbytes, err := measure(sb, n, false)
+				if err != nil {
+					return nil, err
+				}
+				series = append(series, ShardEntry{
+					Query: c.name, Shards: n, NsPerOp: cns, BytesPerOp: cbytes, Cached: true,
+					Speedup: baseNs / cns, GoMaxProcs: runtime.GOMAXPROCS(0), Warning: shardWarning(),
+				})
+				fmt.Printf("%-24s %14.0f ns/op %10d B/op  %5.2fx vs native (warm cache)\n",
+					fmt.Sprintf("%s/shard-n%d-cached", c.name, n), cns, cbytes, baseNs/cns)
+			}
 		}
 	}
 	return series, nil
@@ -138,14 +225,28 @@ func shardSeries(env *exp.Env) ([]ShardEntry, error) {
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_cover.json", "output file")
-		shardOut = flag.String("shard-o", "BENCH_shard.json", "shard series output file")
-		scale    = flag.Int("scale", 4, "universities in the generated database")
-		seed     = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("o", "BENCH_cover.json", "output file")
+		shardOut  = flag.String("shard-o", "BENCH_shard.json", "shard series output file")
+		scale     = flag.Int("scale", 4, "universities in the generated database")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		short     = flag.Bool("short", false, "smoke mode: scale-1 database, QShuffle only, shard fan-outs 1 and 2")
+		shardOnly = flag.Bool("shard", false, "run only the shard series (skip the cover matrix)")
 	)
 	flag.Parse()
+	if *short {
+		*scale = 1
+	}
 
 	env := exp.BuildEnv(*scale, *seed, engine.LayoutSimple, engine.ProfilePostgres())
+	if *shardOnly {
+		series, err := shardSeries(env, *short)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcover:", err)
+			os.Exit(1)
+		}
+		writeJSON(*shardOut, series)
+		return
+	}
 	ref := reformulate.New(env.TBox)
 	var entries []Entry
 
@@ -198,7 +299,7 @@ func main() {
 
 	writeJSON(*out, entries)
 
-	series, err := shardSeries(env)
+	series, err := shardSeries(env, *short)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcover:", err)
 		os.Exit(1)

@@ -105,6 +105,10 @@ func main() {
 		if res.Explain != nil {
 			fmt.Print(res.Explain.Text())
 		}
+		if cs, ok := a.Backend.(interface{ CacheStats() (hits, misses uint64) }); ok {
+			h, m := cs.CacheStats()
+			fmt.Printf("shard cache: %d hit(s), %d miss(es)\n", h, m)
+		}
 	}
 	if *showSQL {
 		fmt.Println(sqlgen.JUCQ(res.JUCQ, sqlgen.Options{Layout: layout, Pretty: true}))

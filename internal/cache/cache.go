@@ -1,0 +1,94 @@
+// Package cache provides the bounded LRU map shared by the answer
+// cache (internal/core) and the shard backend's plan/result caches
+// (internal/shard). One implementation, typed per use via generics, so
+// every cache in the system has the same eviction and hit-accounting
+// behavior.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded least-recently-used map. Safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[K]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an LRU holding at most capacity entries. A non-positive
+// capacity yields a cache that stores nothing (every Get misses).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[K]*list.Element{},
+	}
+}
+
+// Get returns the value under k, marking it most recently used.
+func (c *LRU[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// Put stores v under k, evicting the least recently used entry when
+// over capacity.
+func (c *LRU[K, V]) Put(k K, v V) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge drops every entry (hit/miss counters keep accumulating).
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[K]*list.Element{}
+}

@@ -29,7 +29,7 @@ func BackendSpecs() []BackendSpec {
 	return []BackendSpec{
 		{Name: "native", Description: "in-process streaming operator engine (default)"},
 		{Name: "sql", Description: "evaluation through the generated SQL text (the RDBMS statement surface)"},
-		{Name: "shard", Description: "hash-partitioned parallel execution: per-shard operator trees merged through the parallel union"},
+		{Name: "shard", Description: "hash-partitioned parallel execution: per-shard operator trees (shuffle exchange for non-aligned join keys) merged through the parallel union, with per-shard plan/result caches"},
 	}
 }
 

@@ -14,10 +14,9 @@ package core
 // pipeline.
 
 import (
-	"container/list"
-	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cover"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -55,19 +54,11 @@ type cachedPlan struct {
 	exec plan.Executable // compiled for the backend in the cache key
 }
 
-// AnswerCache is a concurrency-safe LRU of cachedPlans.
+// AnswerCache is a concurrency-safe LRU of cachedPlans, built on the
+// shared internal/cache LRU (the same implementation backing the shard
+// backend's per-shard plan/result caches).
 type AnswerCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used; values are *cacheItem
-	items map[cacheKey]*list.Element
-
-	hits, misses uint64
-}
-
-type cacheItem struct {
-	key  cacheKey
-	plan *cachedPlan
+	lru *cache.LRU[cacheKey, *cachedPlan]
 }
 
 // NewAnswerCache builds an empty cache holding up to capacity entries
@@ -76,65 +67,27 @@ func NewAnswerCache(capacity int) *AnswerCache {
 	if capacity <= 0 {
 		capacity = DefaultAnswerCacheSize
 	}
-	return &AnswerCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[cacheKey]*list.Element),
-	}
+	return &AnswerCache{lru: cache.New[cacheKey, *cachedPlan](capacity)}
 }
 
 // get returns the cached plan for key, promoting it to most recently
 // used.
 func (c *AnswerCache) get(key cacheKey) (*cachedPlan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).plan, true
+	return c.lru.Get(key)
 }
 
 // put stores a plan under key, evicting the least recently used entry
 // past capacity.
 func (c *AnswerCache) put(key cacheKey, plan *cachedPlan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheItem).plan = plan
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheItem{key: key, plan: plan})
-	for c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheItem).key)
-	}
+	c.lru.Put(key, plan)
 }
 
 // Len returns the number of cached plans.
-func (c *AnswerCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
+func (c *AnswerCache) Len() int { return c.lru.Len() }
 
 // Stats returns the cumulative hit and miss counts.
-func (c *AnswerCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *AnswerCache) Stats() (hits, misses uint64) { return c.lru.Stats() }
 
 // Purge drops every cached entry (version bumps already make stale
 // entries unreachable; Purge reclaims their memory eagerly).
-func (c *AnswerCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[cacheKey]*list.Element)
-}
+func (c *AnswerCache) Purge() { c.lru.Purge() }

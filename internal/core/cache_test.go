@@ -123,6 +123,52 @@ func TestCacheTBoxInvalidation(t *testing.T) {
 	}
 }
 
+// TestTBoxInvalidationPurgesShardCache: an ontology swap must also
+// flush the shard backend's own plan/result caches — their keys carry
+// the data version only, so InvalidateTBox purges them explicitly.
+func TestTBoxInvalidationPurgesShardCache(t *testing.T) {
+	a := answerer(t, engine.LayoutSimple, engine.ProfilePostgres())
+	sb, err := NewBackendByName("shard", a.DB, a.Profile, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Backend = sb
+	q := query.MustParseCQ("q(x) <- Researcher(x)")
+	for i := 0; i < 2; i++ {
+		if _, err := a.Answer(q, StrategyUCQ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type cacher interface {
+		CacheStats() (hits, misses uint64)
+		CacheLen() int
+		PurgeCache()
+	}
+	c, ok := sb.(cacher)
+	if !ok {
+		t.Fatal("shard backend lost its cache surface")
+	}
+	if h, m := c.CacheStats(); h+m == 0 {
+		t.Fatal("shard caches never consulted")
+	}
+	if c.CacheLen() == 0 {
+		t.Fatal("shard caches empty before invalidation")
+	}
+	a.InvalidateTBox()
+	// Counters are cumulative and survive the purge; the entries do not.
+	if c.CacheLen() != 0 {
+		t.Fatalf("shard caches hold %d entries after TBox invalidation", c.CacheLen())
+	}
+	// The next answer still works and re-fills the caches.
+	res, err := a.Answer(q, StrategyUCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Fatalf("post-invalidation answers = %v", res.Tuples)
+	}
+}
+
 // TestCacheDisabled: a nil cache re-runs the full pipeline every time.
 func TestCacheDisabled(t *testing.T) {
 	a := answerer(t, engine.LayoutSimple, engine.ProfilePostgres())

@@ -157,6 +157,12 @@ func (a *Answerer) InvalidateTBox() {
 	a.Ref = reformulate.New(a.TBox)
 	a.Model = cost.NewModel(a.DB)
 	a.tboxVer.Add(1)
+	// Backends with their own caches (the shard backend's per-shard
+	// plan/result LRUs) key on the data version only — a TBox swap must
+	// flush them explicitly.
+	if pc, ok := a.Backend.(interface{ PurgeCache() }); ok {
+		pc.PurgeCache()
+	}
 }
 
 // searchOpts returns the configured search options with the shared

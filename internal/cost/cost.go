@@ -28,6 +28,7 @@ type Constants struct {
 	Dedup  float64 // per tuple entering DISTINCT
 	Mat    float64 // per tuple materialized (WITH)
 	Join   float64 // per tuple flowing through a hash join
+	Xfer   float64 // per tuple repartitioned through a shuffle exchange
 	RDFMul float64 // access multiplier on the RDF layout
 }
 
@@ -37,7 +38,10 @@ func DefaultConstants() Constants {
 	// hash build/probe, final DISTINCT) is substantially more expensive
 	// per row than an index probe — this is what makes semijoin
 	// reducers (generalized covers) pay off, cf. Sections 5.2 and 6.3.
-	return Constants{Scan: 1, Probe: 1.5, Emit: 0.5, Dedup: 1.2, Mat: 3, Join: 1.5, RDFMul: float64(engine.DefaultRDFSlots)}
+	// Moving a row through an exchange (copy into a staging batch, a
+	// bounded-channel hop, copy out) costs more than a hash-join probe
+	// but well under a materialization.
+	return Constants{Scan: 1, Probe: 1.5, Emit: 0.5, Dedup: 1.2, Mat: 3, Join: 1.5, Xfer: 2, RDFMul: float64(engine.DefaultRDFSlots)}
 }
 
 // Estimate is a (cost, cardinality) pair in abstract cost units.
@@ -56,6 +60,15 @@ type Model struct {
 // NewModel builds a model over the given database.
 func NewModel(db *engine.DB) *Model {
 	return &Model{Stats: db.Stats(), Layout: db.Layout, C: DefaultConstants()}
+}
+
+// ExchangeCost prices repartitioning rows through the shard backend's
+// shuffle exchange: linear in rows moved, like the join term.
+func (m *Model) ExchangeCost(rows float64) float64 {
+	if rows < 0 {
+		return 0
+	}
+	return rows * m.C.Xfer
 }
 
 func (m *Model) accessMul() float64 {

@@ -235,6 +235,19 @@ func compileProjectNamed(cur Operator, head []query.Term, db *DB) Operator {
 	return compileProject(cur, head, colOf, db)
 }
 
+// NewProjectNamed is the exported form of compileProjectNamed for
+// composing backends (internal/shard) that assemble their own fragment
+// joins and need the head projection above them.
+func NewProjectNamed(cur Operator, head []query.Term, db *DB) Operator {
+	return compileProjectNamed(cur, head, db)
+}
+
+// CoverJoinOrder is the exported form of coverJoinOrder for composing
+// backends that must fix one global join order across shards.
+func CoverJoinOrder(ests []float64) (probe int, builds []int) {
+	return coverJoinOrder(ests)
+}
+
 // coverJoinOrder picks the fragment join order from the plan's
 // estimated fragment cardinalities: the largest fragment drives the
 // streaming probe pass, the others become build tables loaded

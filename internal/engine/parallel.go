@@ -18,6 +18,9 @@ type unionParallelOp struct {
 	opBase
 	children []Operator
 	workers  int
+	// perChild pins one dedicated goroutine to every child instead of
+	// pulling children from a shared job queue (NewUnionFanIn).
+	perChild bool
 
 	results chan *Batch
 	stop    chan struct{}
@@ -42,6 +45,26 @@ func NewUnionParallel(schema []string, children []Operator, workers int) Operato
 	}
 }
 
+// NewUnionFanIn builds a parallel union with exactly one dedicated
+// goroutine per child, bypassing the GOMAXPROCS clamp. The shard
+// backend's exchange path needs this shape: every child consumes
+// exchange endpoints fed by bounded channels, so a child left waiting
+// for a pooled worker would never drain its channel and the producers
+// filling it would stall the children that do have workers. Goroutines
+// beyond GOMAXPROCS are a scheduling matter, not a correctness one — a
+// blocked consumer costs nothing.
+func NewUnionFanIn(schema []string, children []Operator) Operator {
+	if len(children) <= 1 {
+		return newUnion(schema, children)
+	}
+	return &unionParallelOp{
+		opBase:   opBase{name: "union-fanin", schema: schema},
+		children: children,
+		workers:  len(children),
+		perChild: true,
+	}
+}
+
 func (o *unionParallelOp) Open() {
 	o.resetStats()
 	o.results = make(chan *Batch, o.workers*2)
@@ -50,22 +73,32 @@ func (o *unionParallelOp) Open() {
 	width := len(o.schema)
 	o.pool.New = func() any { return NewBatch(width) }
 
-	jobs := make(chan int, len(o.children))
-	for i := range o.children {
-		jobs <- i
-	}
-	close(jobs)
+	if o.perChild {
+		for _, c := range o.children {
+			o.wg.Add(1)
+			go func(c Operator) {
+				defer o.wg.Done()
+				o.drainChild(c)
+			}(c)
+		}
+	} else {
+		jobs := make(chan int, len(o.children))
+		for i := range o.children {
+			jobs <- i
+		}
+		close(jobs)
 
-	for w := 0; w < o.workers; w++ {
-		o.wg.Add(1)
-		go func() {
-			defer o.wg.Done()
-			for i := range jobs {
-				if !o.drainChild(o.children[i]) {
-					return // stop requested
+		for w := 0; w < o.workers; w++ {
+			o.wg.Add(1)
+			go func() {
+				defer o.wg.Done()
+				for i := range jobs {
+					if !o.drainChild(o.children[i]) {
+						return // stop requested
+					}
 				}
-			}
-		}()
+			}()
+		}
 	}
 	go func() {
 		o.wg.Wait()

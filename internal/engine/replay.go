@@ -1,0 +1,96 @@
+package engine
+
+// Replay plumbing for the shard backend's per-shard result cache: a
+// Capture tees a live pipeline's output into a Relation as it streams,
+// and a RelationSource replays a cached Relation as an operator, so a
+// cached shard slots into the same merge tree as a live one.
+
+// relationSourceOp streams a materialized Relation.
+type relationSourceOp struct {
+	opBase
+	rel *Relation
+	pos int
+}
+
+// NewRelationSource returns an operator that emits rel's rows in
+// order. The relation is shared, not copied — callers must treat it as
+// immutable for the operator's lifetime.
+func NewRelationSource(rel *Relation) Operator {
+	return &relationSourceOp{
+		opBase: opBase{name: "relation-source", schema: rel.Schema},
+		rel:    rel,
+	}
+}
+
+func (o *relationSourceOp) Open() {
+	o.resetStats()
+	o.pos = 0
+}
+
+func (o *relationSourceOp) Next(out *Batch) bool {
+	out.Reset()
+	for o.pos < len(o.rel.Rows) && !out.Full() {
+		out.Append(o.rel.Rows[o.pos])
+		o.pos++
+	}
+	return o.yield(out)
+}
+
+func (o *relationSourceOp) Close() {
+	o.closeOnce()
+}
+
+func (o *relationSourceOp) Children() []Operator { return nil }
+
+// Capture tees its child's stream into a Relation. Result reports
+// whether the stream ran to completion — an interrupted run must not
+// be cached as the shard's answer.
+type Capture struct {
+	opBase
+	child    Operator
+	rel      *Relation
+	complete bool
+}
+
+// NewCapture wraps in, recording every batch that flows through.
+func NewCapture(in Operator) *Capture {
+	return &Capture{
+		opBase: opBase{name: "capture", schema: in.Schema()},
+		child:  in,
+		rel:    &Relation{Schema: in.Schema()},
+	}
+}
+
+func (o *Capture) Open() {
+	o.resetStats()
+	o.complete = false
+	o.rel = &Relation{Schema: o.schema}
+	o.child.Open()
+}
+
+func (o *Capture) Next(out *Batch) bool {
+	if !o.child.Next(out) {
+		o.complete = true
+		return false
+	}
+	// Copy the rows out of the batch — the caller recycles it.
+	for i := 0; i < out.Len(); i++ {
+		row := make([]int64, out.Width())
+		copy(row, out.Row(i))
+		o.rel.Rows = append(o.rel.Rows, row)
+	}
+	return o.yield(out)
+}
+
+func (o *Capture) Close() {
+	if !o.closeOnce() {
+		return
+	}
+	o.child.Close()
+}
+
+func (o *Capture) Children() []Operator { return []Operator{o.child} }
+
+// Result returns the captured relation and whether the child stream
+// was drained to completion.
+func (o *Capture) Result() (*Relation, bool) { return o.rel, o.complete }

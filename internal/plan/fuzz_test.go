@@ -306,6 +306,11 @@ func FuzzRewriteValidate(f *testing.F) {
 	f.Add([]byte("3cZe6Vs0Na"))
 	f.Add([]byte("4dAf7Wt1Ob"))
 	f.Add([]byte("5eBg8Xu2Pc"))
+	// JUCQ whose shared variable is bound only in non-first position
+	// inside one fragment — the shape the shard backend's shuffle
+	// exchange compiles (f0(y, x) <- S(y, y), S(y, x) joined with
+	// f1(x) <- A(x) on x).
+	f.Add([]byte("4aaaaaaaaa"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fd := &byteFeed{d: data}
 		var n *Node

@@ -44,6 +44,12 @@ const (
 	OpDistinct
 	// OpProject maps a body onto a query head.
 	OpProject
+	// OpExchange hash-repartitions its single input's rows on Key so
+	// the operator above runs partition-local in a sharded execution
+	// (the shuffle of classic distributed query processing). On a
+	// single-node backend it is the identity — rows pass through
+	// unchanged — so Extract sees straight through it.
+	OpExchange
 )
 
 // String names the operator.
@@ -61,6 +67,8 @@ func (o Op) String() string {
 		return "distinct"
 	case OpProject:
 		return "project"
+	case OpExchange:
+		return "exchange"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -88,6 +96,10 @@ type Node struct {
 
 	// Name carries the originating query's name (diagnostics).
 	Name string
+
+	// Key is the repartition variable (OpExchange only): rows route to
+	// the shard owning ShardOf(row[Key]).
+	Key string
 
 	Inputs []*Node
 }
@@ -340,9 +352,9 @@ func Extract(n *Node) (Lowered, error) {
 }
 
 // isCoverShape distinguishes a cover projection (wrapping the join of
-// fragment subtrees, each a Distinct root) from a plain arm projection
-// whose union was collapsed away — the only two Projects a Distinct
-// root can wrap.
+// fragment subtrees, each a Distinct root, possibly behind an Exchange)
+// from a plain arm projection whose union was collapsed away — the only
+// two Projects a Distinct root can wrap.
 func isCoverShape(p *Node) bool {
 	if len(p.Inputs) != 1 || p.Inputs[0].Op != OpJoin {
 		return false
@@ -352,11 +364,20 @@ func isCoverShape(p *Node) bool {
 		return false
 	}
 	for _, in := range join.Inputs {
-		if in.Op != OpDistinct {
+		if unwrapExchange(in).Op != OpDistinct {
 			return false
 		}
 	}
 	return true
+}
+
+// unwrapExchange steps over an OpExchange wrapper: for extraction and
+// cover-shape checks an exchange is the identity on its input.
+func unwrapExchange(n *Node) *Node {
+	if n != nil && n.Op == OpExchange && len(n.Inputs) == 1 {
+		return n.Inputs[0]
+	}
+	return n
 }
 
 // extractSingleArm turns Distinct(Project(body)) into the
@@ -376,20 +397,26 @@ func extractSingleArm(name string, arm *Node) (Lowered, error) {
 	return Lowered{Kind: KindUCQ, UCQ: query.UCQ{Name: name, Disjuncts: []query.CQ{cq}}}, nil
 }
 
-// extractUnion turns Distinct(Union(arms)) into a UCQ or USCQ.
+// extractUnion turns Distinct(Union(arms)) into a UCQ or USCQ. Arms
+// may be Distinct-wrapped projections (the push-Distinct rewrite):
+// under the root distinct the per-arm dedup changes no answer, so
+// extraction strips it and recovers the same query.
 func extractUnion(name string, u *Node) (Lowered, error) {
+	arms := make([]*Node, len(u.Inputs))
 	factorized := false
-	for _, arm := range u.Inputs {
-		if arm.Op != OpProject {
+	for i, arm := range u.Inputs {
+		p := armProjection(arm)
+		if p == nil {
 			return Lowered{}, fmt.Errorf("plan: union arm must be a projection, got %s", arm.Op)
 		}
-		if arm.Factorized {
+		arms[i] = p
+		if p.Factorized {
 			factorized = true
 		}
 	}
 	if factorized {
 		out := query.USCQ{Name: name}
-		for _, arm := range u.Inputs {
+		for _, arm := range arms {
 			s, err := extractSCQ(arm)
 			if err != nil {
 				return Lowered{}, err
@@ -399,7 +426,7 @@ func extractUnion(name string, u *Node) (Lowered, error) {
 		return Lowered{Kind: KindUSCQ, USCQ: out}, nil
 	}
 	out := query.UCQ{Name: name}
-	for _, arm := range u.Inputs {
+	for _, arm := range arms {
 		cq, err := extractCQ(arm)
 		if err != nil {
 			return Lowered{}, err
@@ -407,6 +434,19 @@ func extractUnion(name string, u *Node) (Lowered, error) {
 		out.Disjuncts = append(out.Disjuncts, cq)
 	}
 	return Lowered{Kind: KindUCQ, UCQ: out}, nil
+}
+
+// armProjection resolves a union arm to its projection, stepping over
+// an optional Distinct wrapper. Returns nil if the arm has neither
+// shape.
+func armProjection(arm *Node) *Node {
+	if arm.Op == OpDistinct && len(arm.Inputs) == 1 {
+		arm = arm.Inputs[0]
+	}
+	if arm.Op != OpProject {
+		return nil
+	}
+	return arm
 }
 
 // extractCover turns Distinct(Project(Join(frag...))) into a JUCQ or
@@ -423,7 +463,7 @@ func extractCover(p *Node) (Lowered, error) {
 	subs := make([]Lowered, len(join.Inputs))
 	anySCQ := false
 	for i, frag := range join.Inputs {
-		lo, err := Extract(frag)
+		lo, err := Extract(unwrapExchange(frag))
 		if err != nil {
 			return Lowered{}, fmt.Errorf("plan: fragment %d: %w", i, err)
 		}
@@ -569,6 +609,8 @@ func (n *Node) Detail() string {
 		return fmt.Sprintf("%d arms", len(n.Inputs))
 	case OpSemiJoin:
 		return fmt.Sprintf("%d reducers", len(n.Inputs)-1)
+	case OpExchange:
+		return "on " + n.Key
 	}
 	return ""
 }

@@ -133,6 +133,89 @@ func TestRewriteMergesNestedProjects(t *testing.T) {
 	}
 }
 
+// taggedUnion builds Distinct(Union(arms)) where each arm projects a
+// distinct constant tag in the second head position — the disjoint
+// shape the push-Distinct rule targets.
+func taggedUnion(tags ...string) *Node {
+	arms := make([]*Node, len(tags))
+	for i, tag := range tags {
+		body := &Node{Op: OpAccess, Atoms: []query.Atom{
+			query.ConceptAtom("A"+tag, query.Var("x"))}, Pos: 0}
+		arms[i] = &Node{Op: OpProject, Name: "arm-" + tag,
+			Head:   []query.Term{query.Var("x"), query.Cst(tag)},
+			Inputs: []*Node{body}}
+	}
+	return &Node{Op: OpDistinct, Name: "q", Inputs: []*Node{
+		{Op: OpUnion, Name: "q", Inputs: arms}}}
+}
+
+func TestRewritePushesDistinctBelowDisjointUnion(t *testing.T) {
+	n := taggedUnion("a", "b", "c")
+	before := n.String()
+	r := Rewrite(n)
+	if r == n {
+		t.Fatal("disjoint tagged union must be rewritten")
+	}
+	u := r.Inputs[0]
+	if u.Op != OpUnion || len(u.Inputs) != 3 {
+		t.Fatalf("rewritten = %s", r)
+	}
+	for i, arm := range u.Inputs {
+		if arm.Op != OpDistinct || len(arm.Inputs) != 1 || arm.Inputs[0].Op != OpProject {
+			t.Fatalf("arm %d = %s, want Distinct(Project)", i, arm)
+		}
+	}
+	// Copy-on-write: the original tree is untouched.
+	if n.String() != before {
+		t.Fatal("rewrite mutated the input tree")
+	}
+	if n.Inputs[0].Inputs[0].Op != OpProject {
+		t.Fatal("original arm was wrapped in place")
+	}
+	// The rewritten tree stays valid and extracts to the same query.
+	if err := Validate(r); err != nil {
+		t.Fatalf("Validate(rewritten) = %v", err)
+	}
+	lo1, err := Extract(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, err := Extract(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lo1, lo2) {
+		t.Fatalf("extract drifted: %+v vs %+v", lo1, lo2)
+	}
+	// Idempotent: the wrapped arms mean the rule already fired.
+	if again := Rewrite(r); again != r {
+		t.Fatalf("second rewrite changed the tree: %s", again)
+	}
+}
+
+func TestRewritePushDistinctDoesNotFire(t *testing.T) {
+	// Shared heads — every reformulated UCQ — are not disjoint.
+	u := query.UCQ{Name: "q", Disjuncts: []query.CQ{
+		mustCQ(t, "q(x) <- A(x)"), mustCQ(t, "q(x) <- B(x)")}}
+	n := FromUCQ(u)
+	if r := Rewrite(n); r != n {
+		t.Fatalf("shared-head union rewritten: %s", r)
+	}
+	// A constant against a variable cannot prove disjointness either.
+	mixed := taggedUnion("a", "b")
+	mixed.Inputs[0].Inputs[1].Head[1] = query.Var("y")
+	mixed.Inputs[0].Inputs[1].Inputs[0] = &Node{Op: OpAccess, Atoms: []query.Atom{
+		query.RoleAtom("R", query.Var("x"), query.Var("y"))}, Pos: 0}
+	if r := Rewrite(mixed); r != mixed {
+		t.Fatalf("constant-vs-variable arms rewritten: %s", r)
+	}
+	// Equal constants overlap.
+	same := taggedUnion("a", "a")
+	if r := Rewrite(same); r != same {
+		t.Fatalf("equal-constant arms rewritten: %s", r)
+	}
+}
+
 func TestRewriteLeavesOriginalIntact(t *testing.T) {
 	u := query.UCQ{Name: "q", Disjuncts: []query.CQ{mustCQ(t, "q(x) <- A(x)")}}
 	n := FromUCQ(u)

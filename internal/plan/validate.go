@@ -29,11 +29,16 @@ import (
 //   - SemiJoin has a core plus at least one reducer, and every reducer
 //     shares a variable with the core (a disconnected reducer cannot
 //     restrict anything).
-//   - Union has at least one arm; arms are projections of equal arity.
+//   - Union has at least one arm; arms are projections (possibly
+//     Distinct-wrapped, the push-Distinct rewrite shape) of equal
+//     arity.
 //   - Distinct has exactly one input and never sits directly above
 //     another Distinct.
 //   - Project has exactly one input, and every head variable is bound
 //     by some access below it.
+//   - Exchange has exactly one input, a non-empty repartition key, and
+//     the key is a column of its input's output schema (a row can only
+//     route on a value it carries).
 //
 // Errors are prefixed "plan: validate: " and name the first violation
 // found in a deterministic (pre-order, input-order) walk.
@@ -92,6 +97,13 @@ func validateNode(n *Node) error {
 		if len(n.Inputs) != 1 {
 			return fmt.Errorf("plan: validate: project must have exactly one input, has %d", len(n.Inputs))
 		}
+	case OpExchange:
+		if len(n.Inputs) != 1 {
+			return fmt.Errorf("plan: validate: exchange must have exactly one input, has %d", len(n.Inputs))
+		}
+		if n.Key == "" {
+			return fmt.Errorf("plan: validate: exchange has no repartition key")
+		}
 	default:
 		return fmt.Errorf("plan: validate: unknown operator %s", n.Op)
 	}
@@ -117,17 +129,22 @@ func validateNode(n *Node) error {
 	case OpUnion:
 		var arity0 int
 		for i, arm := range n.Inputs {
-			if arm.Op != OpProject {
+			p := armProjection(arm)
+			if p == nil {
 				return fmt.Errorf("plan: validate: union arm %d is %s, want project", i, arm.Op)
 			}
 			if i == 0 {
-				arity0 = len(arm.Head)
+				arity0 = len(p.Head)
 				continue
 			}
-			if len(arm.Head) != arity0 {
+			if len(p.Head) != arity0 {
 				return fmt.Errorf("plan: validate: union arm %d has arity %d, arm 0 has arity %d",
-					i, len(arm.Head), arity0)
+					i, len(p.Head), arity0)
 			}
+		}
+	case OpExchange:
+		if !outVars(n.Inputs[0])[n.Key] {
+			return fmt.Errorf("plan: validate: exchange key %q not in its input's output schema", n.Key)
 		}
 	case OpProject:
 		bound := outVars(n.Inputs[0])
@@ -150,7 +167,7 @@ func validateNode(n *Node) error {
 // that variable.
 func validateCoverJoin(n *Node) error {
 	for _, in := range n.Inputs {
-		if in.Op != OpDistinct {
+		if unwrapExchange(in).Op != OpDistinct {
 			return nil // not a cover join: ordinary body join of accesses
 		}
 	}
@@ -203,7 +220,7 @@ func outVars(n *Node) map[string]bool {
 		if len(n.Inputs) > 0 {
 			out = outVars(n.Inputs[0])
 		}
-	case OpDistinct:
+	case OpDistinct, OpExchange:
 		if len(n.Inputs) == 1 {
 			out = outVars(n.Inputs[0])
 		}

@@ -132,6 +132,27 @@ func TestValidateErrors(t *testing.T) {
 			}},
 			"plan: validate: union arm 0 is access, want project",
 		},
+		{
+			"exchange without input",
+			&Node{Op: OpExchange, Key: "x"},
+			"plan: validate: exchange must have exactly one input, has 0",
+		},
+		{
+			"exchange without key",
+			&Node{Op: OpExchange, Inputs: []*Node{
+				{Op: OpProject, Head: []query.Term{x}, Inputs: []*Node{access(0, "A", x)}},
+			}},
+			"plan: validate: exchange has no repartition key",
+		},
+		{
+			"exchange key not in input schema",
+			&Node{Op: OpExchange, Key: "z", Inputs: []*Node{
+				{Op: OpDistinct, Inputs: []*Node{
+					{Op: OpProject, Head: []query.Term{x, y}, Inputs: []*Node{access(0, "R", x, y)}},
+				}},
+			}},
+			`plan: validate: exchange key "z" not in its input's output schema`,
+		},
 	}
 	for _, tc := range cases {
 		err := Validate(tc.n)
@@ -142,6 +163,30 @@ func TestValidateErrors(t *testing.T) {
 		if err.Error() != tc.want {
 			t.Errorf("%s: Validate = %q, want %q", tc.name, err.Error(), tc.want)
 		}
+	}
+}
+
+// TestValidateAcceptsExchangeWrappedCover: the shard backend's shuffle
+// IR — a cover join with a fragment under an Exchange on the join key —
+// is well-formed; the exchange is transparent to the cover-join check.
+func TestValidateAcceptsExchangeWrappedCover(t *testing.T) {
+	x, y := query.Var("x"), query.Var("y")
+	frag0 := &Node{Op: OpDistinct, Inputs: []*Node{
+		{Op: OpProject, Head: []query.Term{x, y}, Inputs: []*Node{access(0, "worksFor", x, y)}},
+	}}
+	frag1 := &Node{Op: OpDistinct, Inputs: []*Node{
+		{Op: OpProject, Head: []query.Term{y}, Inputs: []*Node{access(0, "Company", y)}},
+	}}
+	n := &Node{Op: OpDistinct, Inputs: []*Node{
+		{Op: OpProject, Head: []query.Term{x, y}, Inputs: []*Node{
+			{Op: OpJoin, Inputs: []*Node{
+				{Op: OpExchange, Key: "y", Inputs: []*Node{frag0}},
+				frag1,
+			}},
+		}},
+	}}
+	if err := Validate(n); err != nil {
+		t.Fatalf("Validate = %v", err)
 	}
 }
 

@@ -137,6 +137,25 @@ type QueryResponse struct {
 	Cover     string     `json:"cover"`
 	Backend   string     `json:"backend"`
 	CacheHit  bool       `json:"cacheHit"`
+	// ShardCache carries the shard backend's cumulative plan/result
+	// cache counters; absent for backends without a cache.
+	ShardCache *ShardCacheStats `json:"shardCache,omitempty"`
+}
+
+// ShardCacheStats reports a caching backend's cumulative hit/miss
+// counters (the shard backend's plan and result caches summed).
+type ShardCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// cacheStatsOf extracts the optional cache counters from a backend.
+func cacheStatsOf(b plan.Backend) *ShardCacheStats {
+	if cs, ok := b.(interface{ CacheStats() (hits, misses uint64) }); ok {
+		h, m := cs.CacheStats()
+		return &ShardCacheStats{Hits: h, Misses: m}
+	}
+	return nil
 }
 
 // decodeRequest parses a query+strategy+backend triple from the
@@ -180,16 +199,16 @@ func (s *Server) decodeRequest(r *http.Request) (query.CQ, core.Strategy, string
 
 // answer runs the request through the Answerer under the CPU
 // semaphore, mapping failures onto HTTP status codes.
-func (s *Server) answer(w http.ResponseWriter, r *http.Request) *core.Result {
+func (s *Server) answer(w http.ResponseWriter, r *http.Request) (*core.Result, plan.Backend) {
 	q, strategy, backendName, code, err := s.decodeRequest(r)
 	if err != nil {
 		httpError(w, code, err.Error())
-		return nil
+		return nil, nil
 	}
 	backend, err := s.backendFor(backendName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return nil
+		return nil, nil
 	}
 	s.sem <- struct{}{}
 	res, err := s.A.AnswerWith(q, strategy, backend)
@@ -198,29 +217,30 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request) *core.Result {
 		var tooLong *engine.StatementTooLongError
 		if errors.As(err, &tooLong) {
 			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
-			return nil
+			return nil, nil
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
-		return nil
+		return nil, nil
 	}
-	return res
+	return res, backend
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	res := s.answer(w, r)
+	res, backend := s.answer(w, r)
 	if res == nil {
 		return
 	}
 	resp := QueryResponse{
-		Answers:   res.Tuples,
-		Strategy:  string(res.Strategy),
-		Fragments: res.NumFragments,
-		Disjuncts: res.NumDisjuncts,
-		SQLBytes:  res.SQLSize,
-		SearchMs:  ms(res.SearchTime),
-		EvalMs:    ms(res.EvalTime),
-		Cover:     res.Cover.String(),
-		CacheHit:  res.CacheHit,
+		Answers:    res.Tuples,
+		Strategy:   string(res.Strategy),
+		Fragments:  res.NumFragments,
+		Disjuncts:  res.NumDisjuncts,
+		SQLBytes:   res.SQLSize,
+		SearchMs:   ms(res.SearchTime),
+		EvalMs:     ms(res.EvalTime),
+		Cover:      res.Cover.String(),
+		CacheHit:   res.CacheHit,
+		ShardCache: cacheStatsOf(backend),
 	}
 	if res.Explain != nil {
 		resp.Backend = res.Explain.Backend
@@ -233,31 +253,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the actual per-operator row counters of the run), both as a
 // structured tree and pre-rendered text.
 type ExplainResponse struct {
-	Strategy  string        `json:"strategy"`
-	Cover     string        `json:"cover"`
-	Fragments int           `json:"fragments"`
-	Disjuncts int           `json:"disjuncts"`
-	Answers   int           `json:"answers"`
-	CacheHit  bool          `json:"cacheHit"`
-	Explain   *plan.Explain `json:"explain"`
-	Text      string        `json:"text"`
+	Strategy  string `json:"strategy"`
+	Cover     string `json:"cover"`
+	Fragments int    `json:"fragments"`
+	Disjuncts int    `json:"disjuncts"`
+	Answers   int    `json:"answers"`
+	CacheHit  bool   `json:"cacheHit"`
+	// ShardCache mirrors QueryResponse.ShardCache.
+	ShardCache *ShardCacheStats `json:"shardCache,omitempty"`
+	Explain    *plan.Explain    `json:"explain"`
+	Text       string           `json:"text"`
 }
 
 // handleExplain answers the query like POST /query but returns the
 // EXPLAIN annotation instead of the tuples.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	res := s.answer(w, r)
+	res, backend := s.answer(w, r)
 	if res == nil {
 		return
 	}
 	resp := ExplainResponse{
-		Strategy:  string(res.Strategy),
-		Cover:     res.Cover.String(),
-		Fragments: res.NumFragments,
-		Disjuncts: res.NumDisjuncts,
-		Answers:   len(res.Tuples),
-		CacheHit:  res.CacheHit,
-		Explain:   res.Explain,
+		Strategy:   string(res.Strategy),
+		Cover:      res.Cover.String(),
+		Fragments:  res.NumFragments,
+		Disjuncts:  res.NumDisjuncts,
+		Answers:    len(res.Tuples),
+		CacheHit:   res.CacheHit,
+		ShardCache: cacheStatsOf(backend),
+		Explain:    res.Explain,
 	}
 	if res.Explain != nil {
 		resp.Text = res.Explain.Text()
